@@ -1,0 +1,46 @@
+# Convenience targets for the HyperHammer reproduction.
+
+GO ?= go
+
+.PHONY: all build test test-short vet bench bench-short tables demo fuzz clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+# Every table/figure experiment as benchmarks, full paper scale.
+# Table 3 runs two complete attack campaigns and dominates the time.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+bench-short:
+	$(GO) test -bench=. -benchmem -short ./...
+
+# Regenerate the paper's evaluation artifacts as text.
+tables:
+	$(GO) run ./cmd/hh-tables -all
+
+# The end-to-end attack demo at reduced scale.
+demo:
+	$(GO) run ./cmd/hyperhammer -short
+
+# Brief fuzzing pass over the fuzz targets.
+fuzz:
+	$(GO) test -fuzz=FuzzAllocFreeSequence -fuzztime=20s ./internal/buddy/
+	$(GO) test -fuzz=FuzzEntryRoundTrip -fuzztime=10s ./internal/ept/
+	$(GO) test -fuzz=FuzzTranslateRobustness -fuzztime=20s ./internal/ept/
+	$(GO) test -fuzz=FuzzDeviceProtocol -fuzztime=20s ./internal/virtio/
+
+clean:
+	$(GO) clean ./...
+	rm -f test_output.txt bench_output.txt

@@ -1,0 +1,57 @@
+// Command hh-dramdig reverse engineers the DRAM bank address function
+// of the simulated machines from row-buffer-conflict timing, the
+// DRAMDig step of Section 5.1, and checks the THP-compatibility
+// property the attack depends on.
+//
+// Usage:
+//
+//	hh-dramdig              # both machines
+//	hh-dramdig -system S2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hyperhammer"
+)
+
+func main() {
+	system := flag.String("system", "", "S1, S2, or empty for both")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	run := func(name string, cfg hyperhammer.HostConfig) {
+		res, err := hyperhammer.RecoverBankFunction(cfg.Geometry, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hh-dramdig: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s (%s):\n", name, cfg.Geometry.Name)
+		fmt.Printf("  %d banks from %d XOR masks (%d timing probes)\n",
+			res.Banks, len(res.Masks), res.ProbeCount)
+		for _, m := range res.Masks {
+			fmt.Printf("  mask %#07x (bits", m)
+			for b := 0; b < 64; b++ {
+				if m&(1<<b) != 0 {
+					fmt.Printf(" %d", b)
+				}
+			}
+			fmt.Println(")")
+		}
+		fmt.Printf("  all bits below 22 (THP-compatible): %v\n\n", res.AllBitsBelow(22))
+	}
+	switch *system {
+	case "S1":
+		run("S1", hyperhammer.S1(*seed))
+	case "S2":
+		run("S2", hyperhammer.S2(*seed))
+	case "":
+		run("S1", hyperhammer.S1(*seed))
+		run("S2", hyperhammer.S2(*seed))
+	default:
+		fmt.Fprintln(os.Stderr, "hh-dramdig: -system must be S1 or S2")
+		os.Exit(2)
+	}
+}

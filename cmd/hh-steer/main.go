@@ -1,0 +1,93 @@
+// Command hh-steer demonstrates Page Steering (Section 4.2, the
+// Table 2 / Figure 3 workload): exhaust the host's noise pages through
+// vIOMMU, voluntarily release blocks through the modified virtio-mem
+// driver, spray EPT pages, and report how many released pages the
+// hypervisor reused for EPTs.
+//
+// Usage:
+//
+//	hh-steer                 # 16 GiB S1, B=20 blocks, 10 GiB spray
+//	hh-steer -blocks 100 -spray 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hyperhammer"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	blocks := flag.Int("blocks", 20, "page blocks to release (the paper's B)")
+	sprayGiB := flag.Int("spray", 10, "EPT-creation buffer in GiB (the paper's S)")
+	flag.Parse()
+
+	host, err := hyperhammer.NewHost(hyperhammer.S1(*seed))
+	if err != nil {
+		fatal(err)
+	}
+	vm, err := host.CreateVM(hyperhammer.VMConfig{
+		MemSize: 13 * hyperhammer.GiB, VFIOGroups: 1, BootSplits: 500,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	gos := hyperhammer.BootGuest(vm)
+	gos.InstallAttackDriver()
+
+	n := gos.FreeHugepages()
+	base, err := gos.AllocHuge(n)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("noise pages before exhaustion: %d\n", host.NoisePages())
+
+	// Step 1: exhaustion.
+	iova := hyperhammer.IOVA(0x1_0000_0000)
+	for m := 0; m < 60000; m++ {
+		if err := gos.MapDMA(0, iova, base); err != nil {
+			fatal(err)
+		}
+		iova += hyperhammer.HugePageSize
+	}
+	fmt.Printf("noise pages after 60,000 vIOMMU mappings: %d\n", host.NoisePages())
+
+	// Step 2: voluntary releases.
+	stride := (n - 1) / *blocks
+	released := 0
+	for i := 1; i < n && released < *blocks; i += stride {
+		if err := gos.ReleaseHugepage(base + hyperhammer.GVA(i)*hyperhammer.HugePageSize); err != nil {
+			fatal(err)
+		}
+		released++
+	}
+	fmt.Printf("released %d blocks (%d pages) via voluntary virtio-mem unplug\n",
+		released, released*512)
+
+	// Step 3: EPTE spray.
+	want := *sprayGiB * hyperhammer.GiB / hyperhammer.HugePageSize
+	sprayed := 0
+	for i := 0; i < n && sprayed < want; i++ {
+		gva := base + hyperhammer.GVA(i)*hyperhammer.HugePageSize
+		if _, err := gos.GPAOf(gva); err != nil {
+			continue // released
+		}
+		if _, err := gos.Exec(gva); err != nil {
+			fatal(err)
+		}
+		sprayed++
+	}
+	fmt.Printf("sprayed %d hugepage executions (multihit splits: %d)\n", sprayed, vm.Splits())
+
+	stats := vm.EPTReuse()
+	fmt.Printf("\nEPT reuse: N=%d E=%d R=%d R_N=%.1f%% R_E=%.1f%%\n",
+		stats.ReleasedPages, stats.EPTPages, stats.ReusedPages,
+		100*stats.RN(), 100*stats.RE())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hh-steer:", err)
+	os.Exit(1)
+}

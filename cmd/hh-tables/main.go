@@ -1,0 +1,181 @@
+// Command hh-tables regenerates the paper's evaluation artifacts: every
+// table, the figure, and the supplementary analyses, on the simulated
+// substrate.
+//
+// Usage:
+//
+//	hh-tables -all                 # everything (Table 3 takes minutes)
+//	hh-tables -table 1 -table 2    # specific tables
+//	hh-tables -figure 3            # the noise-page traces
+//	hh-tables -analysis -extras    # closed-form + Section 6 analyses
+//	hh-tables -ablations           # design-choice ablations
+//	hh-tables -short -all          # reduced-scale quick pass
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"hyperhammer/experiments"
+)
+
+type intList []int
+
+func (l *intList) String() string { return fmt.Sprint(*l) }
+
+func (l *intList) Set(v string) error {
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return err
+	}
+	*l = append(*l, n)
+	return nil
+}
+
+func main() {
+	var tables intList
+	figure := flag.Bool("figure", false, "reproduce Figure 3 (noise-page traces)")
+	analysis := flag.Bool("analysis", false, "Section 5.3 closed-form analysis")
+	extras := flag.Bool("extras", false, "Section 5.1/6 analyses (DRAMDig, quarantine, Xen, balloon)")
+	ablations := flag.Bool("ablations", false, "design-choice ablations")
+	all := flag.Bool("all", false, "everything")
+	short := flag.Bool("short", false, "reduced scale (seconds instead of minutes)")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	attempts := flag.Int("attempts", 0, "Table 3 attempt cap (0 = default)")
+	flag.Var(&tables, "table", "table number to reproduce (repeatable: 1, 2, 3)")
+	flag.Parse()
+
+	o := experiments.Options{Seed: *seed, Short: *short, MaxAttempts: *attempts}
+	want := func(n int) bool {
+		if *all {
+			return true
+		}
+		for _, t := range tables {
+			if t == n {
+				return true
+			}
+		}
+		return false
+	}
+	ran := false
+	fail := func(what string, err error) {
+		fmt.Fprintf(os.Stderr, "hh-tables: %s: %v\n", what, err)
+		os.Exit(1)
+	}
+
+	var t1 *experiments.Table1Result
+	if want(1) {
+		ran = true
+		var err error
+		if t1, err = experiments.Table1(o); err != nil {
+			fail("table 1", err)
+		}
+		fmt.Println(t1.Table())
+	}
+	if want(2) {
+		ran = true
+		t2, err := experiments.Table2(o)
+		if err != nil {
+			fail("table 2", err)
+		}
+		fmt.Println(t2.Table())
+	}
+	if want(3) {
+		ran = true
+		t3, err := experiments.Table3(o)
+		if err != nil {
+			fail("table 3", err)
+		}
+		fmt.Println(t3.Table())
+	}
+	if *figure || *all {
+		ran = true
+		f3, err := experiments.Figure3(o)
+		if err != nil {
+			fail("figure 3", err)
+		}
+		fmt.Println(f3.Figure())
+		fmt.Println("summary:")
+		fmt.Println(f3.Figure().Summary())
+	}
+	if *analysis || *all {
+		ran = true
+		fmt.Println(experiments.Analysis(o, t1).Table())
+		fmt.Println(experiments.VMSize(o).Table())
+	}
+	if *extras || *all {
+		ran = true
+		dd, err := experiments.DRAMDig(o)
+		if err != nil {
+			fail("dramdig", err)
+		}
+		fmt.Println(dd.Table())
+		mit, err := experiments.Mitigation(o)
+		if err != nil {
+			fail("mitigation", err)
+		}
+		fmt.Println(mit.Table())
+		xen, err := experiments.Xen(o)
+		if err != nil {
+			fail("xen", err)
+		}
+		fmt.Println(xen.Table())
+		bal, err := experiments.Balloon(o)
+		if err != nil {
+			fail("balloon", err)
+		}
+		fmt.Println(bal.Table())
+		trr, err := experiments.TRR(o)
+		if err != nil {
+			fail("trr", err)
+		}
+		fmt.Println(trr.Table())
+		ecc, err := experiments.ECC(o)
+		if err != nil {
+			fail("ecc", err)
+		}
+		fmt.Println(ecc.Table())
+		mh, err := experiments.Multihit(o)
+		if err != nil {
+			fail("multihit", err)
+		}
+		fmt.Println(mh.Table())
+	}
+	if *ablations || *all {
+		ran = true
+		side, err := experiments.AblationSidedness(o)
+		if err != nil {
+			fail("ablation sidedness", err)
+		}
+		fmt.Println(side.Table())
+		ex, err := experiments.AblationNoExhaust(o)
+		if err != nil {
+			fail("ablation exhaust", err)
+		}
+		fmt.Println(ex.Table())
+		spray, err := experiments.AblationSpraySize(o)
+		if err != nil {
+			fail("ablation spray", err)
+		}
+		fmt.Println(spray.Table())
+		thp, err := experiments.AblationTHP(o)
+		if err != nil {
+			fail("ablation thp", err)
+		}
+		fmt.Println(thp.Table())
+		pcp, err := experiments.AblationPCPNoise(o)
+		if err != nil {
+			fail("ablation pcp", err)
+		}
+		fmt.Println(pcp.Table())
+	}
+	if !ran {
+		fmt.Fprintln(os.Stderr, "hh-tables: nothing selected; try -all or -table N")
+		fmt.Fprintln(os.Stderr, strings.TrimSpace(`
+flags: -table N (repeatable) -figure -analysis -extras -ablations -all -short -seed S -attempts N`))
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,127 @@
+// Command hyperhammer runs the end-to-end attack: boot a simulated
+// KVM host, plant a secret in host-kernel memory that no guest can
+// reach, then let a malicious tenant VM profile its memory, steer EPT
+// pages onto Rowhammer-vulnerable frames, flip them, and read the
+// secret through the stolen translation.
+//
+// Usage:
+//
+//	hyperhammer              # full-scale campaign (minutes)
+//	hyperhammer -short       # 4 GiB scale (seconds)
+//	hyperhammer -attempts N  # attempt budget
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hyperhammer"
+)
+
+func main() {
+	short := flag.Bool("short", false, "run the reduced 4 GiB scale")
+	seed := flag.Uint64("seed", 0, "simulation seed (0 = scale default)")
+	attempts := flag.Int("attempts", 0, "attempt budget (0 = scale default)")
+	tracePath := flag.String("trace", "", "write host-side JSONL trace events to this file")
+	flag.Parse()
+
+	if *seed == 0 {
+		// Known-good defaults per scale; the attack is a geometric
+		// draw at the Section 5.3.1 bound, so arbitrary seeds may
+		// need more attempts than the default budget.
+		*seed = 1
+		if *short {
+			*seed = 4
+		}
+	}
+
+	hostCfg := hyperhammer.S1(*seed)
+	vmCfg := hyperhammer.VMConfig{MemSize: 13 * hyperhammer.GiB, VFIOGroups: 1, BootSplits: 500}
+	attackCfg := hyperhammer.DefaultAttackConfig(hyperhammer.S1BankFunction())
+	budget := 600
+	if *short {
+		hostCfg.Geometry = shortGeometry()
+		hostCfg.Fault = hyperhammer.FaultModel{
+			Seed: *seed, CellsPerRow: 0.02,
+			ThresholdMin: 120_000, ThresholdMax: 400_000,
+			StableFraction: 0.54, FlakyP: 0.35,
+			NeighborWeight1: 1.0, NeighborWeight2: 0.25,
+		}
+		hostCfg.BootNoisePages = 2000
+		vmCfg.MemSize = 3584 * hyperhammer.MiB
+		vmCfg.BootSplits = 150
+		attackCfg.HostMemBits = 32
+		attackCfg.IOVAMappings = 6000
+		attackCfg.TargetBits = 3
+		budget = 250
+	}
+	if *attempts > 0 {
+		budget = *attempts
+	}
+
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		hostCfg.Trace = hyperhammer.NewTrace(f, 0)
+	}
+
+	host, err := hyperhammer.NewHost(hostCfg)
+	if err != nil {
+		fatal(err)
+	}
+	const secretValue = 0xC0FFEE_5EC2E7
+	secretHPA := host.PlantSecret(secretValue)
+	fmt.Printf("host: %s, %d MiB, THP + NX-hugepages, stock QEMU\n",
+		hostCfg.Geometry.Name, hostCfg.Geometry.Size/hyperhammer.MiB)
+	fmt.Printf("secret planted in host kernel memory at HPA %#x\n", secretHPA)
+	fmt.Printf("attacker VM: %d MiB, 1 VFIO device, vIOMMU enabled\n\n", vmCfg.MemSize/hyperhammer.MiB)
+
+	res, err := hyperhammer.RunCampaign(host, hyperhammer.CampaignConfig{
+		Attack:             attackCfg,
+		VM:                 vmCfg,
+		MaxAttempts:        budget,
+		StopAtFirstSuccess: true,
+		VerifyHPA:          secretHPA,
+		VerifyValue:        secretValue,
+		ChurnOps:           400,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("profiling: %d exploitable bits, %v simulated\n",
+		res.ProfiledBits, res.ProfileDuration)
+	fmt.Printf("attempts: %d run, avg %v simulated each\n",
+		len(res.Attempts), res.AvgAttemptTime())
+	if res.Successes == 0 {
+		fmt.Printf("\nno escape within %d attempts (expected ~%.0f at the Section 5.3.1 bound); retry with more -attempts or another -seed\n",
+			budget, hyperhammer.ExpectedAttempts(uint64(vmCfg.MemSize), hostCfg.Geometry.Size))
+		os.Exit(1)
+	}
+	fmt.Printf("\nESCAPE at attempt %d after %v simulated attack time\n",
+		res.FirstSuccessAttempt, res.TimeToFirstSuccess)
+	fmt.Printf("the guest read the host-kernel secret %#x through a stolen EPT page:\n", uint64(secretValue))
+	fmt.Println("KVM-enforced isolation broken.")
+}
+
+func shortGeometry() *hyperhammer.Geometry {
+	g, err := hyperhammer.NewGeometry(hyperhammer.Geometry{
+		Name:      "short-4G (i3-10100 bank function)",
+		Size:      4 * hyperhammer.GiB,
+		BankMasks: hyperhammer.S1BankFunction(),
+		RowShift:  18,
+		RowBits:   14,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	return g
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hyperhammer:", err)
+	os.Exit(1)
+}

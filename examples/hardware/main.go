@@ -1,0 +1,85 @@
+// Hardware: the hardware context around HyperHammer in one run.
+//
+//  1. The iTLB-Multihit trade-off (Section 4.2.3): on an affected CPU
+//     without the NX-hugepage countermeasure, a malicious guest can
+//     machine-check the host at will; the countermeasure stops the DoS
+//     — and in doing so creates the EPT-page allocations HyperHammer
+//     steers onto vulnerable frames.
+//  2. The deployed Rowhammer defenses (Section 6): in-DRAM TRR stops
+//     the paper's single-sided pattern but falls to a TRRespass-style
+//     many-sided one, while ECC silently absorbs single-bit flips and
+//     starves the profiler.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hyperhammer"
+	"hyperhammer/experiments"
+)
+
+func main() {
+	fmt.Println("== 1. the iTLB Multihit trade-off ==")
+	demoMultihit(false)
+	demoMultihit(true)
+
+	o := experiments.Options{Seed: 7, Short: true}
+
+	fmt.Println("\n== 2. in-DRAM TRR vs hammer patterns ==")
+	trr, err := experiments.TRR(o)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(trr.Table())
+
+	fmt.Println("\n== 3. ECC memory vs profiling ==")
+	ecc, err := experiments.ECC(o)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(ecc.Table())
+}
+
+// demoMultihit runs the guest DoS against an affected CPU with the
+// countermeasure on or off, using the public API directly.
+func demoMultihit(mitigated bool) {
+	geo, err := hyperhammer.NewGeometry(hyperhammer.Geometry{
+		Name: "affected-cpu-1G", Size: 1 * hyperhammer.GiB,
+		BankMasks: hyperhammer.S1BankFunction(), RowShift: 18, RowBits: 12,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := hyperhammer.S1(7)
+	cfg.Geometry = geo
+	cfg.NXHugepages = mitigated
+	cfg.MultihitBugPresent = true
+	cfg.BootNoisePages = 500
+	host, err := hyperhammer.NewHost(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	vm, err := host.CreateVM(hyperhammer.VMConfig{MemSize: 256 * hyperhammer.MiB, VFIOGroups: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	gos := hyperhammer.BootGuest(vm)
+	base, err := gos.AllocHuge(4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := gos.Exec(base); err != nil {
+		log.Fatal(err)
+	}
+	crashed, err := gos.TriggerMultihitDoS(base)
+	if err != nil {
+		log.Fatal(err)
+	}
+	state := "host survives"
+	if crashed {
+		state = "HOST MACHINE-CHECKED (denial of service)"
+	}
+	fmt.Printf("NX-hugepage countermeasure %-3v -> guest DoS attempt: %s; hugepage splits so far: %d\n",
+		mitigated, state, vm.Splits())
+}

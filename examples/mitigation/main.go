@@ -1,0 +1,76 @@
+// Mitigation: the paper's Section 6 countermeasure in action. The
+// same malicious guest runs its Page-Steering release step against two
+// hosts: stock QEMU, which accepts voluntary unplugs it never asked
+// for, and a host with the quarantine guard, which NACKs every request
+// whose size-change pattern cannot be an honest answer to the
+// hypervisor's target — while legitimate elastic-memory operation
+// keeps working.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"hyperhammer"
+)
+
+func main() {
+	fmt.Println("== stock QEMU ==")
+	runWith(hyperhammer.S1(7))
+
+	fmt.Println("\n== with the quarantine countermeasure ==")
+	guard, stats := hyperhammer.Quarantine()
+	cfg := hyperhammer.S1(7)
+	cfg.Quarantine = guard
+	runWith(cfg)
+	fmt.Printf("quarantine decisions: %d allowed, %d blocked\n", stats.Allowed, stats.Blocked)
+}
+
+func runWith(cfg hyperhammer.HostConfig) {
+	host, err := hyperhammer.NewHost(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	vm, err := host.CreateVM(hyperhammer.VMConfig{
+		MemSize: 2 * hyperhammer.GiB, VFIOGroups: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	gos := hyperhammer.BootGuest(vm)
+	gos.InstallAttackDriver()
+	base, err := gos.AllocHuge(8)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Malicious voluntary releases (Page Steering step 2).
+	released, nacked := 0, 0
+	for i := 0; i < 4; i++ {
+		err := gos.ReleaseHugepage(base + hyperhammer.GVA(i)*hyperhammer.HugePageSize)
+		switch {
+		case err == nil:
+			released++
+		case errors.Is(err, hyperhammer.ErrNACK):
+			nacked++
+		default:
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("malicious unplug requests: %d accepted, %d NACKed\n", released, nacked)
+
+	// Legitimate elastic memory: the hypervisor shrinks the VM by one
+	// sub-block; the stock driver complies. This must keep working
+	// under quarantine (the countermeasure's design constraint).
+	dev := vm.MemDevice()
+	dev.SetRequestedSize(dev.PluggedSize() - hyperhammer.HugePageSize)
+	honest := hyperhammer.NewGuestDriver(dev)
+	if _, err := honest.SyncToTarget(); err != nil {
+		fmt.Printf("legitimate resize FAILED: %v\n", err)
+		return
+	}
+	if dev.PluggedSize() == dev.RequestedSize() {
+		fmt.Println("legitimate hypervisor-initiated resize: OK")
+	}
+}

@@ -1,0 +1,44 @@
+// Xen: the paper's Section 6 observation that Page Steering would be
+// even easier on Xen. Xen's domain heap has no migration types: a
+// guest returns pages with XENMEM_decrease_reservation and the very
+// next p2m table allocations take them straight back — no vIOMMU
+// exhaustion, no migratetype wall, no spray sizing.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hyperhammer"
+)
+
+func main() {
+	// A 4 GiB Xen host with one 3 GiB HVM domain.
+	heap := hyperhammer.XenHeap(0, 4*hyperhammer.GiB/hyperhammer.PageSize)
+	dom, err := heap.CreateDomain(3 * hyperhammer.GiB)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The malicious domain voluntarily returns eight 2 MiB chunks —
+	// in the real attack, the ones containing Rowhammer-vulnerable
+	// bits it profiled.
+	var victims []hyperhammer.GPA
+	for i := 1; i <= 8; i++ {
+		victims = append(victims, hyperhammer.GPA(i*41)*hyperhammer.HugePageSize)
+	}
+
+	// Then it forces p2m table allocations (hugepage splits, page
+	// faults, ...). On Xen these come from the same heap the guest
+	// just released into.
+	released, reused, err := dom.SteeringReuse(victims, 8*512)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("released %d pages via XENMEM_decrease_reservation\n", released)
+	fmt.Printf("p2m table pages landing on released memory: %d of %d (%.1f%%)\n",
+		reused, 8*512, 100*float64(reused)/float64(8*512))
+	fmt.Println("no exhaustion step was needed: Xen keeps one free list for guest and table pages.")
+	fmt.Println("compare: on KVM the same releases are unreachable until the attacker drains")
+	fmt.Println("the MIGRATE_UNMOVABLE noise pages through 60,000 vIOMMU mappings (Section 4.2.1).")
+}

@@ -1,0 +1,278 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hyperhammer/internal/dram"
+	"hyperhammer/internal/dramdig"
+	"hyperhammer/internal/guest"
+	"hyperhammer/internal/kvm"
+	"hyperhammer/internal/memdef"
+	"hyperhammer/internal/mitigation"
+	"hyperhammer/internal/report"
+	"hyperhammer/internal/virtio"
+	"hyperhammer/internal/xenlite"
+)
+
+// DRAMDigRow is one system's bank-function recovery outcome.
+type DRAMDigRow struct {
+	System System
+	// Banks is the recovered bank count.
+	Banks int
+	// MaskCount is the number of recovered XOR masks.
+	MaskCount int
+	// Probes is the timing-probe budget spent.
+	Probes int
+	// Matches reports whether the recovered function induces the
+	// same collision classes as the ground-truth geometry.
+	Matches bool
+	// THPCompatible reports whether all recovered bits are <= 21.
+	THPCompatible bool
+}
+
+// DRAMDigResult reproduces the Section 5.1 DRAMDig verification.
+type DRAMDigResult struct {
+	Rows []DRAMDigRow
+}
+
+// Table renders the result.
+func (r *DRAMDigResult) Table() *report.Table {
+	t := report.NewTable("Section 5.1: DRAMDig bank-function recovery",
+		"System", "Banks", "Masks", "Probes", "Matches", "THP-compatible")
+	for _, row := range r.Rows {
+		t.AddRow(row.System, row.Banks, row.MaskCount, row.Probes, row.Matches, row.THPCompatible)
+	}
+	return t
+}
+
+// DRAMDig recovers the bank function of both processors from timing
+// and verifies the paper's two claims: the recovery matches the real
+// function, and every function bit is preserved by THP translation.
+func DRAMDig(o Options) (*DRAMDigResult, error) {
+	res := &DRAMDigResult{}
+	for _, sys := range []System{SystemS1, SystemS2} {
+		geo := dram.CoreI310100()
+		if sys == SystemS2 {
+			geo = dram.XeonE32124()
+		}
+		timing := dram.NewTiming(geo, o.Seed^0xD1)
+		cfg := dramdig.DefaultConfig(geo.Size)
+		cfg.Seed = o.Seed ^ 0xD2
+		rec, err := dramdig.Recover(timing, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("dramdig %s: %w", sys, err)
+		}
+		matches := true
+		base := memdef.HPA(5 * memdef.GiB)
+		for off := uint64(0); off < 512*memdef.KiB && matches; off += 64 * 3 {
+			a, b := base, base+memdef.HPA(off)
+			matches = rec.SameBank(a, b) == (geo.Bank(a) == geo.Bank(b))
+		}
+		res.Rows = append(res.Rows, DRAMDigRow{
+			System:        sys,
+			Banks:         rec.Banks,
+			MaskCount:     len(rec.Masks),
+			Probes:        rec.ProbeCount,
+			Matches:       matches,
+			THPCompatible: rec.AllBitsBelow(22),
+		})
+	}
+	return res, nil
+}
+
+// MitigationResult evaluates the Section 6 quarantine countermeasure.
+type MitigationResult struct {
+	// StockReleased is how many blocks a malicious guest released on
+	// a stock host.
+	StockReleased int
+	// QuarantinedReleased is the same on a quarantined host.
+	QuarantinedReleased int
+	// NACKs is how many malicious requests the quarantine refused.
+	NACKs int
+	// LegitResizeOK reports whether an honest hypervisor-initiated
+	// resize still works under quarantine.
+	LegitResizeOK bool
+}
+
+// Table renders the result.
+func (r *MitigationResult) Table() *report.Table {
+	t := report.NewTable("Section 6: quarantine countermeasure",
+		"Metric", "Value")
+	t.AddRow("voluntary releases on stock QEMU", r.StockReleased)
+	t.AddRow("voluntary releases under quarantine", r.QuarantinedReleased)
+	t.AddRow("quarantine NACKs", r.NACKs)
+	t.AddRow("legitimate resize still works", r.LegitResizeOK)
+	return t
+}
+
+// Mitigation runs Page Steering's release step against a stock host
+// and a quarantined host and compares.
+func Mitigation(o Options) (*MitigationResult, error) {
+	res := &MitigationResult{}
+	sc := o.scale()
+
+	releaseAttempts := func(guard virtio.Guard) (released, nacks int, legit bool, err error) {
+		cfg := kvm.Config{
+			Geometry:       sc.geometry(SystemS1),
+			Fault:          sc.fault(SystemS1, o.Seed),
+			THP:            true,
+			NXHugepages:    true,
+			BootNoisePages: 1000,
+			Seed:           o.Seed,
+			Quarantine:     guard,
+		}
+		h, err := kvm.NewHost(cfg)
+		if err != nil {
+			return 0, 0, false, err
+		}
+		vm, err := h.CreateVM(kvm.VMConfig{MemSize: sc.vmSize / 2, VFIOGroups: 1})
+		if err != nil {
+			return 0, 0, false, err
+		}
+		gos := guest.Boot(vm)
+		gos.InstallAttackDriver()
+		base, err := gos.AllocHuge(16)
+		if err != nil {
+			return 0, 0, false, err
+		}
+		for i := 0; i < 8; i++ {
+			gva := base + memdef.GVA(i)*memdef.HugePageSize
+			if gos.ReleaseHugepage(gva) == nil {
+				released++
+			}
+		}
+		nacks = vm.MemDevice().NACKs()
+		// An honest shrink: hypervisor lowers the target, stock
+		// driver follows.
+		dev := vm.MemDevice()
+		dev.SetRequestedSize(dev.PluggedSize() - 2*memdef.HugePageSize)
+		honest := virtio.NewGuestDriver(dev)
+		honest.OnUnplug = func(gpa memdef.GPA, _ uint64) {}
+		_, serr := honest.SyncToTarget()
+		legit = serr == nil && dev.PluggedSize() == dev.RequestedSize()
+		return released, nacks, legit, nil
+	}
+
+	var err error
+	res.StockReleased, _, _, err = releaseAttempts(nil)
+	if err != nil {
+		return nil, err
+	}
+	guard, _ := mitigation.Quarantine()
+	var legit bool
+	res.QuarantinedReleased, res.NACKs, legit, err = releaseAttempts(guard)
+	if err != nil {
+		return nil, err
+	}
+	res.LegitResizeOK = legit
+	return res, nil
+}
+
+// XenResult compares Page Steering difficulty on Xen versus KVM
+// (Section 6).
+type XenResult struct {
+	// XenReleased/XenReused are the Xen-lite steering counts with no
+	// exhaustion step at all.
+	XenReleased, XenReused int
+	// KVMNoExhaustReleased/Reused are KVM counts when the attacker
+	// skips the exhaustion step.
+	KVMNoExhaustReleased, KVMNoExhaustReused int
+}
+
+// XenRE returns the Xen reuse fraction R/N.
+func (r *XenResult) XenRE() float64 {
+	if r.XenReleased == 0 {
+		return 0
+	}
+	return float64(r.XenReused) / float64(r.XenReleased)
+}
+
+// KVMRE returns KVM's no-exhaustion reuse fraction.
+func (r *XenResult) KVMRE() float64 {
+	if r.KVMNoExhaustReleased == 0 {
+		return 0
+	}
+	return float64(r.KVMNoExhaustReused) / float64(r.KVMNoExhaustReleased)
+}
+
+// Table renders the comparison.
+func (r *XenResult) Table() *report.Table {
+	t := report.NewTable("Section 6: Page Steering without exhaustion, Xen vs KVM",
+		"Hypervisor", "Released pages", "Reused by tables", "R/N")
+	t.AddRow("Xen (single heap)", r.XenReleased, r.XenReused, report.Percent(r.XenRE()))
+	t.AddRow("KVM (migratetypes)", r.KVMNoExhaustReleased, r.KVMNoExhaustReused, report.Percent(r.KVMRE()))
+	return t
+}
+
+// Xen runs the comparison: on Xen-lite, released domain pages are
+// immediately eligible for p2m allocations; on KVM, skipping the
+// exhaustion step leaves the noise pages in front of the released
+// blocks and reuse collapses.
+func Xen(o Options) (*XenResult, error) {
+	res := &XenResult{}
+
+	// Xen side: 4 GiB heap, 3 GiB domain, release 8 chunks, allocate
+	// p2m pages.
+	heap := xenlite.NewHeap(0, 4*memdef.GiB/memdef.PageSize)
+	dom, err := heap.CreateDomain(3 * memdef.GiB)
+	if err != nil {
+		return nil, err
+	}
+	var chunks []memdef.GPA
+	for i := 0; i < 8; i++ {
+		chunks = append(chunks, memdef.GPA(i)*37*memdef.HugePageSize)
+	}
+	res.XenReleased, res.XenReused, err = dom.SteeringReuse(chunks, 8*memdef.PagesPerHuge)
+	if err != nil {
+		return nil, err
+	}
+
+	// KVM side: same shape, but skip exhaustion.
+	sc := shortScale()
+	h, err := o.newHostAt(sc, SystemS1)
+	if err != nil {
+		return nil, err
+	}
+	vm, err := h.CreateVM(kvm.VMConfig{MemSize: sc.vmSize, VFIOGroups: 1})
+	if err != nil {
+		return nil, err
+	}
+	gos := guest.Boot(vm)
+	gos.InstallAttackDriver()
+	n := gos.FreeHugepages()
+	base, err := gos.AllocHuge(n)
+	if err != nil {
+		return nil, err
+	}
+	for i := 1; i <= 8; i++ {
+		if err := gos.ReleaseHugepage(base + memdef.GVA(i*37)*memdef.HugePageSize); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < n; i++ {
+		gva := base + memdef.GVA(i)*memdef.HugePageSize
+		if _, err := gos.GPAOf(gva); err != nil {
+			continue // released
+		}
+		if _, err := gos.Exec(gva); err != nil {
+			return nil, err
+		}
+	}
+	stats := vm.EPTReuse()
+	res.KVMNoExhaustReleased = stats.ReleasedPages
+	res.KVMNoExhaustReused = stats.ReusedPages
+	return res, nil
+}
+
+// newHostAt boots a host at an explicit scale (used by comparisons
+// that always run small).
+func (o Options) newHostAt(sc scale, sys System) (*kvm.Host, error) {
+	return kvm.NewHost(kvm.Config{
+		Geometry:       sc.geometry(sys),
+		Fault:          sc.fault(sys, o.Seed),
+		THP:            true,
+		NXHugepages:    true,
+		BootNoisePages: sc.hostNoise(sys),
+		Seed:           o.Seed ^ uint64(sys)<<32,
+	})
+}

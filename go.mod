@@ -1,0 +1,3 @@
+module hyperhammer
+
+go 1.22

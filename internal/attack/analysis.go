@@ -1,0 +1,89 @@
+package attack
+
+import (
+	"math/rand/v2"
+	"time"
+)
+
+// This file reproduces the paper's closed-form analysis: the success
+// probability bound of Section 5.3.1 and the end-to-end time estimate
+// of Section 5.3.3.
+
+// SuccessBound returns the paper's Section 5.3.1 upper bound on the
+// per-attempt success probability:
+//
+//	P <= VM memory size / (512 * host memory size)
+//
+// Intuition: each exploited vulnerable bit consumes 1 GiB of guest
+// address space to create 512 EPT pages, so the number of EPT pages —
+// the only useful flip targets — is capped by guestMem/2MiB, while a
+// flipped PFN lands anywhere in hostMem/4KiB frames.
+func SuccessBound(guestMem, hostMem uint64) float64 {
+	if hostMem == 0 {
+		return 0
+	}
+	return float64(guestMem) / (512 * float64(hostMem))
+}
+
+// ExpectedAttempts returns the expected number of attack attempts for
+// one success at the bound (its reciprocal).
+func ExpectedAttempts(guestMem, hostMem uint64) float64 {
+	p := SuccessBound(guestMem, hostMem)
+	if p == 0 {
+		return 0
+	}
+	return 1 / p
+}
+
+// EndToEndEstimate reproduces the Section 5.3.3 arithmetic: for an
+// end-to-end attack the profile must be redone per attempt, stopping
+// once targetBits exploitable bits are found, so each attempt's
+// profiling cost is fullProfile * targetBits / exploitableBits, and
+// the expected total is that times the expected attempt count.
+func EndToEndEstimate(fullProfile time.Duration, exploitableBits, targetBits int, expectedAttempts float64) time.Duration {
+	if exploitableBits == 0 {
+		return 0
+	}
+	perAttempt := float64(fullProfile) * float64(targetBits) / float64(exploitableBits)
+	return time.Duration(perAttempt * expectedAttempts)
+}
+
+// MonteCarloConfig parameterizes the empirical check of the bound.
+type MonteCarloConfig struct {
+	Seed uint64
+	// Samples is the number of simulated flip outcomes.
+	Samples int
+	// EPTPages is the number of EPT pages in the system when the
+	// flip fires (the only winning targets).
+	EPTPages int
+	// HostFrames is the number of 4 KiB frames of host memory.
+	HostFrames int
+	// ExploitableBitLow/High is the PFN bit range flips fall in.
+	ExploitableBitLow, ExploitableBitHigh uint
+}
+
+// MonteCarloSuccess estimates, by sampling, the probability that a
+// single exploitable-bit flip redirects an EPTE onto an EPT page:
+// EPT pages are scattered uniformly over host frames and a flip moves
+// the mapping by a power-of-two frame distance. The estimate should
+// sit at or below the Section 5.3.1 bound.
+func MonteCarloSuccess(cfg MonteCarloConfig) float64 {
+	if cfg.Samples <= 0 || cfg.HostFrames <= 0 || cfg.EPTPages <= 0 {
+		return 0
+	}
+	rng := rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0x9E3779B97F4A7C15))
+	density := float64(cfg.EPTPages) / float64(cfg.HostFrames)
+	hits := 0
+	for i := 0; i < cfg.Samples; i++ {
+		// A flip at PFN bit k moves the mapping by 2^(k-12) frames;
+		// whether the landing frame holds an EPT page is a Bernoulli
+		// draw at the EPT-page density (EPT pages are spread by the
+		// buddy allocator with no correlation to the flip distance).
+		bitRange := int(cfg.ExploitableBitHigh - cfg.ExploitableBitLow)
+		_ = cfg.ExploitableBitLow + uint(rng.IntN(bitRange)) // flip position; uniform
+		if rng.Float64() < density {
+			hits++
+		}
+	}
+	return float64(hits) / float64(cfg.Samples)
+}

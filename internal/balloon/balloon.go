@@ -1,0 +1,108 @@
+// Package balloon models virtio-balloon, KVM's other memory
+// overcommit device, for the paper's Section 6 feasibility analysis of
+// adapting HyperHammer to it.
+//
+// Unlike virtio-mem, the balloon works at single-page (4 KiB)
+// granularity, so the attacker needs no free-list exhaustion to reach
+// small blocks — but without VFIO the guest's memory is not pinned
+// MIGRATE_UNMOVABLE, so released pages land on the movable free lists
+// and EPT allocations (unmovable) reach them only through fallback
+// stealing, which the attacker must first force by draining the
+// unmovable lists (e.g. with virtio-net-pci receive buffers).
+package balloon
+
+import (
+	"errors"
+	"fmt"
+
+	"hyperhammer/internal/memdef"
+)
+
+// Errors returned by device operations.
+var (
+	// ErrState reports inflating an already-ballooned page or
+	// deflating one that is not in the balloon.
+	ErrState = errors.New("balloon: wrong page state")
+	// ErrBadRange reports a page outside the guest.
+	ErrBadRange = errors.New("balloon: bad page")
+)
+
+// Backend is the hypervisor side: what QEMU does when the guest moves
+// a page in or out of the balloon.
+type Backend interface {
+	// ReclaimPage releases the host backing of one guest page to the
+	// host kernel (madvise(DONTNEED)); the page lands on the movable
+	// free lists since nothing pins it.
+	ReclaimPage(gpa memdef.GPA) error
+	// ProvidePage re-populates the backing of one guest page.
+	ProvidePage(gpa memdef.GPA) error
+}
+
+// Device is a virtio-balloon instance.
+type Device struct {
+	guestSize uint64
+	backend   Backend
+	inBalloon map[memdef.GPA]bool
+
+	// target is the hypervisor's requested balloon size in pages.
+	target int
+}
+
+// NewDevice creates a balloon for a guest of the given size.
+func NewDevice(guestSize uint64, backend Backend) *Device {
+	return &Device{
+		guestSize: guestSize,
+		backend:   backend,
+		inBalloon: make(map[memdef.GPA]bool),
+	}
+}
+
+// SetTarget sets the hypervisor's desired balloon size in pages. As
+// with virtio-mem, nothing forces the guest to respect it — inflate
+// requests for pages the hypervisor never asked for are accepted,
+// which is the lack of enforcement a Page-Steering adaptation would
+// exploit.
+func (d *Device) SetTarget(pages int) { d.target = pages }
+
+// Target returns the requested balloon size in pages.
+func (d *Device) Target() int { return d.target }
+
+// Size returns the current balloon size in pages.
+func (d *Device) Size() int { return len(d.inBalloon) }
+
+// Inflate moves one guest page into the balloon, releasing its host
+// backing. The guest chooses the page — including, maliciously, a page
+// whose physical backing it profiled as vulnerable.
+func (d *Device) Inflate(gpa memdef.GPA) error {
+	gpa &^= memdef.PageSize - 1
+	if uint64(gpa) >= d.guestSize {
+		return fmt.Errorf("%w: %#x", ErrBadRange, gpa)
+	}
+	if d.inBalloon[gpa] {
+		return fmt.Errorf("%w: %#x already ballooned", ErrState, gpa)
+	}
+	if err := d.backend.ReclaimPage(gpa); err != nil {
+		return err
+	}
+	d.inBalloon[gpa] = true
+	return nil
+}
+
+// Deflate takes one page back from the balloon.
+func (d *Device) Deflate(gpa memdef.GPA) error {
+	gpa &^= memdef.PageSize - 1
+	if !d.inBalloon[gpa] {
+		return fmt.Errorf("%w: %#x not ballooned", ErrState, gpa)
+	}
+	if err := d.backend.ProvidePage(gpa); err != nil {
+		return err
+	}
+	delete(d.inBalloon, gpa)
+	return nil
+}
+
+// IsBallooned reports whether the page containing gpa is in the
+// balloon.
+func (d *Device) IsBallooned(gpa memdef.GPA) bool {
+	return d.inBalloon[gpa&^(memdef.PageSize-1)]
+}

@@ -1,0 +1,83 @@
+package balloon
+
+import (
+	"errors"
+	"testing"
+
+	"hyperhammer/internal/memdef"
+)
+
+type fakeBackend struct {
+	reclaimed, provided []memdef.GPA
+	fail                bool
+}
+
+func (b *fakeBackend) ReclaimPage(gpa memdef.GPA) error {
+	if b.fail {
+		return errors.New("injected")
+	}
+	b.reclaimed = append(b.reclaimed, gpa)
+	return nil
+}
+
+func (b *fakeBackend) ProvidePage(gpa memdef.GPA) error {
+	b.provided = append(b.provided, gpa)
+	return nil
+}
+
+func TestInflateDeflate(t *testing.T) {
+	be := &fakeBackend{}
+	d := NewDevice(64*memdef.MiB, be)
+	if err := d.Inflate(0x5123); err != nil { // sub-page address rounds down
+		t.Fatal(err)
+	}
+	if !d.IsBallooned(0x5FFF) || d.IsBallooned(0x6000) {
+		t.Error("balloon membership wrong")
+	}
+	if d.Size() != 1 {
+		t.Errorf("Size = %d", d.Size())
+	}
+	if err := d.Inflate(0x5000); !errors.Is(err, ErrState) {
+		t.Errorf("double inflate: %v", err)
+	}
+	if err := d.Deflate(0x5000); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Deflate(0x5000); !errors.Is(err, ErrState) {
+		t.Errorf("double deflate: %v", err)
+	}
+	if len(be.reclaimed) != 1 || len(be.provided) != 1 {
+		t.Errorf("backend calls: %v %v", be.reclaimed, be.provided)
+	}
+}
+
+// The modelled vulnerability parallel to virtio-mem: inflation the
+// hypervisor never requested is accepted.
+func TestVoluntaryInflateAccepted(t *testing.T) {
+	d := NewDevice(64*memdef.MiB, &fakeBackend{})
+	d.SetTarget(0) // hypervisor wants no balloon at all
+	if err := d.Inflate(2 * memdef.MiB); err != nil {
+		t.Errorf("voluntary inflate rejected: %v", err)
+	}
+	if d.Target() != 0 || d.Size() != 1 {
+		t.Error("state wrong after voluntary inflate")
+	}
+}
+
+func TestInflateOutOfRange(t *testing.T) {
+	d := NewDevice(4*memdef.MiB, &fakeBackend{})
+	if err := d.Inflate(4 * memdef.MiB); !errors.Is(err, ErrBadRange) {
+		t.Errorf("out-of-range inflate: %v", err)
+	}
+}
+
+func TestBackendFailureKeepsState(t *testing.T) {
+	be := &fakeBackend{fail: true}
+	d := NewDevice(4*memdef.MiB, be)
+	if err := d.Inflate(0); err == nil {
+		t.Fatal("expected backend error")
+	}
+	if d.Size() != 0 {
+		t.Error("failed inflate changed state")
+	}
+}

@@ -1,0 +1,352 @@
+// Package buddy implements a Linux-style buddy page allocator for the
+// simulated host kernel: per-migration-type free lists for block
+// orders 0 through MAX_ORDER-1, block splitting and coalescing,
+// fallback stealing between migration types, and an order-0 per-CPU
+// pageset (PCP) cache.
+//
+// Page Steering's success depends on exact buddy mechanics — the
+// kernel prefers small blocks, falls back to splitting order-9/10
+// blocks, serves order-0 allocations from the PCP first, and keeps
+// MIGRATE_UNMOVABLE and MIGRATE_MOVABLE pages on separate lists
+// (Sections 2.3, 2.4, 4.2 of the paper) — so those mechanics are
+// modelled directly rather than approximated.
+package buddy
+
+import (
+	"errors"
+	"fmt"
+
+	"hyperhammer/internal/memdef"
+)
+
+// ErrOutOfMemory is returned when no free block of any usable order or
+// migration type can satisfy an allocation.
+var ErrOutOfMemory = errors.New("buddy: out of memory")
+
+// Config tunes the allocator's caching behaviour.
+type Config struct {
+	// PCPBatch is the number of order-0 pages moved between the PCP
+	// cache and the buddy lists per refill or drain. Linux default
+	// territory is 31-63.
+	PCPBatch int
+	// PCPHigh is the PCP high watermark: freeing beyond it drains a
+	// batch back to the buddy lists.
+	PCPHigh int
+}
+
+// DefaultConfig mirrors common Linux PCP tuning.
+func DefaultConfig() Config { return Config{PCPBatch: 31, PCPHigh: 186} }
+
+type blockInfo struct {
+	order int
+	mt    memdef.MigrateType
+	// index of the block inside its free list, for O(1) removal.
+	index int
+}
+
+// Allocator is the buddy allocator over a contiguous PFN range.
+// It is not safe for concurrent use.
+type Allocator struct {
+	cfg   Config
+	start memdef.PFN
+	pages uint64
+
+	// freeLists[mt][order] holds the PFNs of free blocks. Treated as
+	// a stack: allocation pops the most recently freed block, which
+	// reproduces the reuse behaviour Page Steering relies on.
+	freeLists [memdef.NumMigrateTypes][memdef.MaxOrder][]memdef.PFN
+	// free indexes every free block head for coalescing and for
+	// removing a buddy from the middle of its list.
+	free map[memdef.PFN]blockInfo
+
+	// pcp is the order-0 per-CPU cache, per migration type.
+	pcp [memdef.NumMigrateTypes][]memdef.PFN
+
+	freePages uint64
+}
+
+// New creates an allocator over pages frames starting at start, with
+// the whole range initially free as MIGRATE_MOVABLE max-order blocks
+// (the state of a freshly booted host's ZONE_NORMAL before kernel
+// allocations carve it up).
+func New(start memdef.PFN, pages uint64, cfg Config) *Allocator {
+	if cfg.PCPBatch <= 0 || cfg.PCPHigh < cfg.PCPBatch {
+		panic(fmt.Sprintf("buddy: bad PCP config %+v", cfg))
+	}
+	a := &Allocator{
+		cfg:   cfg,
+		start: start,
+		pages: pages,
+		free:  make(map[memdef.PFN]blockInfo),
+	}
+	maxBlock := uint64(1) << (memdef.MaxOrder - 1)
+	p := uint64(start)
+	end := uint64(start) + pages
+	// Align the leading edge upward with progressively larger blocks,
+	// fill with max-order blocks, then the trailing edge downward.
+	for p < end {
+		order := memdef.MaxOrder - 1
+		for order > 0 && (p&((uint64(1)<<order)-1) != 0 || p+(uint64(1)<<order) > end) {
+			order--
+		}
+		if p+(uint64(1)<<order) > end {
+			break
+		}
+		a.pushFree(memdef.PFN(p), order, memdef.MigrateMovable)
+		a.freePages += uint64(1) << order
+		p += uint64(1) << order
+	}
+	_ = maxBlock
+	return a
+}
+
+// Start returns the first managed PFN.
+func (a *Allocator) Start() memdef.PFN { return a.start }
+
+// Pages returns the number of managed frames.
+func (a *Allocator) Pages() uint64 { return a.pages }
+
+// FreePages returns the total number of free pages, including pages
+// cached in the PCP.
+func (a *Allocator) FreePages() uint64 {
+	n := a.freePages
+	for mt := range a.pcp {
+		n += uint64(len(a.pcp[mt]))
+	}
+	return n
+}
+
+func (a *Allocator) contains(p memdef.PFN) bool {
+	return uint64(p) >= uint64(a.start) && uint64(p) < uint64(a.start)+a.pages
+}
+
+// pushFree places a block on its free list and indexes it.
+func (a *Allocator) pushFree(p memdef.PFN, order int, mt memdef.MigrateType) {
+	list := &a.freeLists[mt][order]
+	a.free[p] = blockInfo{order: order, mt: mt, index: len(*list)}
+	*list = append(*list, p)
+}
+
+// removeFree unlinks a specific free block (swap-remove).
+func (a *Allocator) removeFree(p memdef.PFN) blockInfo {
+	bi, ok := a.free[p]
+	if !ok {
+		panic(fmt.Sprintf("buddy: block %d not free", p))
+	}
+	list := &a.freeLists[bi.mt][bi.order]
+	last := len(*list) - 1
+	moved := (*list)[last]
+	(*list)[bi.index] = moved
+	*list = (*list)[:last]
+	if moved != p {
+		mi := a.free[moved]
+		mi.index = bi.index
+		a.free[moved] = mi
+	}
+	delete(a.free, p)
+	return bi
+}
+
+// popFree pops the most recently freed block of (mt, order), or false.
+func (a *Allocator) popFree(mt memdef.MigrateType, order int) (memdef.PFN, bool) {
+	list := &a.freeLists[mt][order]
+	if len(*list) == 0 {
+		return 0, false
+	}
+	p := (*list)[len(*list)-1]
+	*list = (*list)[:len(*list)-1]
+	delete(a.free, p)
+	return p, true
+}
+
+// Alloc allocates a 2^order block of the given migration type straight
+// from the buddy lists (bypassing the PCP, as the kernel does for
+// order > 0). The returned block's PFN is aligned to its order.
+//
+// The search order mirrors __rmqueue: exact order on the matching
+// list, then progressively larger blocks to split, then fallback
+// stealing from the other migration type starting at the largest
+// available block.
+func (a *Allocator) Alloc(order int, mt memdef.MigrateType) (memdef.PFN, error) {
+	if order < 0 || order >= memdef.MaxOrder {
+		return 0, fmt.Errorf("buddy: bad order %d", order)
+	}
+	// Same-migratetype path: smallest sufficient order.
+	for o := order; o < memdef.MaxOrder; o++ {
+		if p, ok := a.popFree(mt, o); ok {
+			a.splitTo(p, o, order, mt)
+			a.freePages -= uint64(1) << order
+			return p, nil
+		}
+	}
+	// High-order miss: drain the per-CPU caches and retry, as the
+	// kernel's allocation slow path does (drain_all_pages) — cached
+	// singles block buddy coalescing and are often exactly what keeps
+	// an order-9 block from reassembling.
+	if order >= memdef.HugeOrder && (len(a.pcp[0]) > 0 || len(a.pcp[1]) > 0) {
+		a.DrainPCP()
+		for o := order; o < memdef.MaxOrder; o++ {
+			if p, ok := a.popFree(mt, o); ok {
+				a.splitTo(p, o, order, mt)
+				a.freePages -= uint64(1) << order
+				return p, nil
+			}
+		}
+	}
+	// Fallback: steal the largest block of the other type, so that
+	// the remainder stays as one large chunk of the stealing type
+	// (Linux's anti-fragmentation heuristic).
+	other := memdef.MigrateMovable
+	if mt == memdef.MigrateMovable {
+		other = memdef.MigrateUnmovable
+	}
+	for o := memdef.MaxOrder - 1; o >= order; o-- {
+		if p, ok := a.popFree(other, o); ok {
+			a.splitTo(p, o, order, mt) // remainder is re-typed to mt
+			a.freePages -= uint64(1) << order
+			return p, nil
+		}
+	}
+	return 0, ErrOutOfMemory
+}
+
+// splitTo splits block p down from order `from` to order `to`, putting
+// the upper halves back on the free lists of mt.
+func (a *Allocator) splitTo(p memdef.PFN, from, to int, mt memdef.MigrateType) {
+	for o := from; o > to; o-- {
+		half := o - 1
+		a.pushFree(p+memdef.PFN(uint64(1)<<half), half, mt)
+	}
+}
+
+// Free returns a 2^order block to the free lists under migration type
+// mt, coalescing with free buddies of the same type up to the maximum
+// order.
+func (a *Allocator) Free(p memdef.PFN, order int, mt memdef.MigrateType) {
+	if order < 0 || order >= memdef.MaxOrder {
+		panic(fmt.Sprintf("buddy: bad free order %d", order))
+	}
+	if !a.contains(p) || uint64(p)&((uint64(1)<<order)-1) != 0 {
+		panic(fmt.Sprintf("buddy: bad free of block %d order %d", p, order))
+	}
+	a.freePages += uint64(1) << order
+	for order < memdef.MaxOrder-1 {
+		buddyPFN := p ^ memdef.PFN(uint64(1)<<order)
+		bi, ok := a.free[buddyPFN]
+		if !ok || bi.order != order || bi.mt != mt || !a.contains(buddyPFN) {
+			break
+		}
+		a.removeFree(buddyPFN)
+		if buddyPFN < p {
+			p = buddyPFN
+		}
+		order++
+	}
+	a.pushFree(p, order, mt)
+}
+
+// AllocPage allocates one order-0 page of type mt through the PCP
+// cache, refilling a batch from the buddy lists when the cache is
+// empty — the path EPT and IOPT page allocations take, and the reason
+// the paper's spray must first drink the PCP dry.
+func (a *Allocator) AllocPage(mt memdef.MigrateType) (memdef.PFN, error) {
+	cache := &a.pcp[mt]
+	if len(*cache) == 0 {
+		for i := 0; i < a.cfg.PCPBatch; i++ {
+			p, err := a.Alloc(0, mt)
+			if err != nil {
+				break
+			}
+			*cache = append(*cache, p)
+		}
+		if len(*cache) == 0 {
+			return 0, ErrOutOfMemory
+		}
+	}
+	p := (*cache)[len(*cache)-1]
+	*cache = (*cache)[:len(*cache)-1]
+	return p, nil
+}
+
+// FreePage frees one order-0 page of type mt through the PCP cache,
+// draining a batch back to the buddy lists past the high watermark.
+func (a *Allocator) FreePage(p memdef.PFN, mt memdef.MigrateType) {
+	cache := &a.pcp[mt]
+	*cache = append(*cache, p)
+	if len(*cache) > a.cfg.PCPHigh {
+		for i := 0; i < a.cfg.PCPBatch && len(*cache) > 0; i++ {
+			q := (*cache)[0]
+			*cache = (*cache)[1:]
+			a.Free(q, 0, mt)
+		}
+	}
+}
+
+// DrainPCP flushes all PCP-cached pages back to the buddy lists.
+func (a *Allocator) DrainPCP() {
+	for mt := range a.pcp {
+		for _, p := range a.pcp[mt] {
+			a.Free(p, 0, memdef.MigrateType(mt))
+		}
+		a.pcp[mt] = nil
+	}
+}
+
+// PCPCount returns how many order-0 pages of mt sit in the PCP cache.
+func (a *Allocator) PCPCount(mt memdef.MigrateType) int { return len(a.pcp[mt]) }
+
+// FreeBlocks returns the number of free blocks of (mt, order),
+// matching one cell of /proc/pagetypeinfo.
+func (a *Allocator) FreeBlocks(mt memdef.MigrateType, order int) int {
+	return len(a.freeLists[mt][order])
+}
+
+// PageTypeInfo returns the full free-block table, the simulation's
+// /proc/pagetypeinfo.
+func (a *Allocator) PageTypeInfo() [memdef.NumMigrateTypes][memdef.MaxOrder]int {
+	var out [memdef.NumMigrateTypes][memdef.MaxOrder]int
+	for mt := 0; mt < int(memdef.NumMigrateTypes); mt++ {
+		for o := 0; o < memdef.MaxOrder; o++ {
+			out[mt][o] = len(a.freeLists[mt][o])
+		}
+	}
+	return out
+}
+
+// FreeBlockContaining reports whether frame p currently lies inside a
+// free block, and if so that block's base, order and migration type.
+// Diagnostic API (the kernel's equivalent is PageBuddy inspection).
+func (a *Allocator) FreeBlockContaining(p memdef.PFN) (base memdef.PFN, order int, mt memdef.MigrateType, ok bool) {
+	for o := 0; o < memdef.MaxOrder; o++ {
+		candidate := p &^ (memdef.PFN(1)<<o - 1)
+		if bi, found := a.free[candidate]; found && bi.order == o {
+			return candidate, o, bi.mt, true
+		}
+	}
+	return 0, 0, 0, false
+}
+
+// InPCP reports whether frame p is cached in a per-CPU pageset.
+func (a *Allocator) InPCP(p memdef.PFN) bool {
+	for mt := range a.pcp {
+		for _, q := range a.pcp[mt] {
+			if q == p {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// NoisePages returns the number of free pages held in small-order
+// (below order-9) blocks of the given migration type, plus PCP-cached
+// pages — the paper's "noise pages" metric from Section 4.2.1 and
+// Figure 3: free pages that EPT allocations would consume before
+// touching an attacker-released order-9 block.
+func (a *Allocator) NoisePages(mt memdef.MigrateType) int {
+	n := len(a.pcp[mt])
+	for o := 0; o < memdef.HugeOrder; o++ {
+		n += len(a.freeLists[mt][o]) << o
+	}
+	return n
+}

@@ -1,0 +1,47 @@
+package dram
+
+import (
+	"testing"
+
+	"hyperhammer/internal/memdef"
+)
+
+func BenchmarkBankFunction(b *testing.B) {
+	g := XeonE32124()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += g.Bank(memdef.HPA(i) * 64)
+	}
+	_ = sink
+}
+
+func BenchmarkComposeLine(b *testing.B) {
+	g := CoreI310100()
+	lines := g.LinesPerBankRow()
+	var sink memdef.HPA
+	for i := 0; i < b.N; i++ {
+		sink += g.ComposeLine(i&31, i&65535, i%lines)
+	}
+	_ = sink
+}
+
+func BenchmarkHammerOp(b *testing.B) {
+	m := NewModule(CoreI310100(), S1FaultModel(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		row := (i * 37) % (m.Geo.Rows() - 4)
+		op := HammerOp{
+			Aggressors: []RowRef{{i & 31, row}, {i & 31, row + 1}},
+			Rounds:     250_000,
+		}
+		m.Hammer(op)
+	}
+}
+
+func BenchmarkVulnerableCellsLookup(b *testing.B) {
+	m := NewModule(CoreI310100(), S1FaultModel(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.VulnerableCells(i&31, (i*31)&65535)
+	}
+}

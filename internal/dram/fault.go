@@ -1,0 +1,384 @@
+package dram
+
+import (
+	"math/rand/v2"
+	"sort"
+
+	"hyperhammer/internal/memdef"
+)
+
+// FlipDirection is the fixed direction of a vulnerable cell. DRAM
+// cells are either true-cells (a charged cell encodes 1, so leakage
+// flips 1 to 0) or anti-cells (leakage flips 0 to 1); each physical
+// cell flips in only one direction (Section 4.3, "Rowhammer flips
+// tend to be unidirectional").
+type FlipDirection uint8
+
+const (
+	// FlipOneToZero marks a true-cell: the bit flips only if it
+	// currently holds 1.
+	FlipOneToZero FlipDirection = iota
+	// FlipZeroToOne marks an anti-cell: the bit flips only if it
+	// currently holds 0.
+	FlipZeroToOne
+)
+
+// String returns the paper's notation for the direction.
+func (d FlipDirection) String() string {
+	if d == FlipOneToZero {
+		return "1->0"
+	}
+	return "0->1"
+}
+
+// Cell is one Rowhammer-vulnerable DRAM cell.
+type Cell struct {
+	// BitIndex is the cell's bit position within its row's per-bank
+	// slice (0 .. RowBytesPerBank*8-1).
+	BitIndex int
+	// Threshold is the effective activation count on adjacent rows
+	// required to flip the cell within one refresh window.
+	Threshold float64
+	// Direction is the cell's fixed flip direction.
+	Direction FlipDirection
+	// Stable reports whether the cell flips every time the threshold
+	// is exceeded. Unstable cells flip probabilistically (FlakyP).
+	Stable bool
+	// FlakyP is the per-hammer flip probability for unstable cells.
+	FlakyP float64
+}
+
+// FaultModelConfig parameterizes the vulnerable-cell population of one
+// DIMM pair. Two presets reproduce the character of the paper's S1
+// and S2 machines (Table 1): S1 finds fewer flips but most are stable,
+// S2 finds more flips but almost none are stable.
+type FaultModelConfig struct {
+	// Seed makes the cell population deterministic.
+	Seed uint64
+	// CellsPerRow is the expected number of vulnerable cells per
+	// (bank, row). Sampled per row from a Poisson-like distribution.
+	CellsPerRow float64
+	// ThresholdMin and ThresholdMax bound the per-cell activation
+	// thresholds (uniform sample).
+	ThresholdMin, ThresholdMax float64
+	// StableFraction is the probability that a vulnerable cell is
+	// stable (flips reliably above threshold).
+	StableFraction float64
+	// FlakyP is the flip probability of unstable cells.
+	FlakyP float64
+	// NeighborWeight1 and NeighborWeight2 weight the disturbance
+	// contributed by aggressors at row distance 1 and 2. Distances
+	// beyond 2 contribute nothing (blast radius 2).
+	NeighborWeight1, NeighborWeight2 float64
+	// WindowActivations caps the activations of one row that can
+	// accumulate disturbance within a refresh window: every tREFW
+	// (64 ms) the victim row is refreshed and the charge-leak budget
+	// resets, so hammering longer in one operation does not hammer
+	// harder. Zero selects the DDR4-2666 default (~1.36M activations
+	// per row per window at back-to-back tRC).
+	WindowActivations int
+	// TRR, when non-nil, enables the in-DRAM Target Row Refresh
+	// mitigation model. The evaluated Apacer DIMMs behave as if TRR
+	// were absent or defeated (TRRespass found effective patterns on
+	// them, Section 5.1), so the presets leave this nil.
+	TRR *TRRConfig
+}
+
+// S1FaultModel returns the fault-model preset calibrated to machine
+// S1 in Table 1: ~395 flips over a 12 GiB profile with ~62% stable.
+func S1FaultModel(seed uint64) FaultModelConfig {
+	return FaultModelConfig{
+		Seed:            seed,
+		CellsPerRow:     0.0043,
+		ThresholdMin:    120_000,
+		ThresholdMax:    400_000,
+		StableFraction:  0.37,
+		FlakyP:          0.35,
+		NeighborWeight1: 1.0,
+		NeighborWeight2: 0.25,
+	}
+}
+
+// S2FaultModel returns the preset calibrated to machine S2 in
+// Table 1: ~650 flips over a 12 GiB profile with only ~6% stable.
+func S2FaultModel(seed uint64) FaultModelConfig {
+	return FaultModelConfig{
+		Seed:            seed,
+		CellsPerRow:     0.0122,
+		ThresholdMin:    120_000,
+		ThresholdMax:    400_000,
+		StableFraction:  0.022,
+		FlakyP:          0.35,
+		NeighborWeight1: 1.0,
+		NeighborWeight2: 0.25,
+	}
+}
+
+// Module is one installed DRAM configuration: a geometry plus its
+// vulnerable-cell population. Cell populations are generated lazily
+// and deterministically per (bank, row), so a 16 GiB module costs
+// nothing until rows are actually hammered.
+type Module struct {
+	Geo  *Geometry
+	cfg  FaultModelConfig
+	rows map[rowKey][]Cell // lazily materialized vulnerable cells
+
+	// ops counts hammer operations. It salts the per-op randomness so
+	// that repeating an identical operation (a stability retest)
+	// draws fresh flaky-cell outcomes instead of replaying the last
+	// ones, while the sequence as a whole stays deterministic.
+	ops uint64
+}
+
+type rowKey struct {
+	bank, row int
+}
+
+// NewModule installs a DRAM module with the given geometry and fault
+// model.
+func NewModule(geo *Geometry, cfg FaultModelConfig) *Module {
+	return &Module{Geo: geo, cfg: cfg, rows: make(map[rowKey][]Cell)}
+}
+
+// rowRNG returns a deterministic RNG for one (bank, row), independent
+// of visit order.
+func (m *Module) rowRNG(bank, row int) *rand.Rand {
+	// SplitMix-style key mixing keeps rows statistically independent.
+	k := m.cfg.Seed ^ (uint64(bank)+1)*0x9E3779B97F4A7C15 ^ (uint64(row)+1)*0xBF58476D1CE4E5B9
+	return rand.New(rand.NewPCG(k, k^0x94D049BB133111EB))
+}
+
+// VulnerableCells returns the vulnerable cells of one (bank, row),
+// generating them deterministically on demand. Only rows that contain
+// cells are cached: with realistic densities almost all rows are
+// empty, and caching them would bloat a long profiling run. The
+// returned slice must not be modified.
+func (m *Module) VulnerableCells(bank, row int) []Cell {
+	key := rowKey{bank, row}
+	if cells, ok := m.rows[key]; ok {
+		return cells
+	}
+	rng := m.rowRNG(bank, row)
+	// Poisson sampling via inversion is overkill at these densities;
+	// a two-draw Bernoulli mixture gives the same first two moments
+	// for lambda << 1 while staying cheap and deterministic.
+	n := 0
+	lambda := m.cfg.CellsPerRow
+	for lambda > 0 {
+		p := lambda
+		if p > 1 {
+			p = 1
+		}
+		if rng.Float64() < p {
+			n++
+		}
+		lambda -= 1
+	}
+	var cells []Cell
+	if n > 0 {
+		rowBits := int(m.Geo.RowBytesPerBank()) * 8
+		cells = make([]Cell, 0, n)
+		for i := 0; i < n; i++ {
+			c := Cell{
+				BitIndex:  rng.IntN(rowBits),
+				Threshold: m.cfg.ThresholdMin + rng.Float64()*(m.cfg.ThresholdMax-m.cfg.ThresholdMin),
+				Stable:    rng.Float64() < m.cfg.StableFraction,
+				FlakyP:    m.cfg.FlakyP,
+			}
+			if rng.Float64() < 0.5 {
+				c.Direction = FlipOneToZero
+			} else {
+				c.Direction = FlipZeroToOne
+			}
+			cells = append(cells, c)
+		}
+		sort.Slice(cells, func(i, j int) bool { return cells[i].BitIndex < cells[j].BitIndex })
+		m.rows[key] = cells
+	}
+	return cells
+}
+
+// DefaultWindowActivations is the per-row activation budget of one
+// 64 ms refresh window at back-to-back tRC (~47 ns) on DDR4-2666.
+const DefaultWindowActivations = 1_360_000
+
+// windowActivations returns the effective per-window activation cap.
+func (m *Module) windowActivations() int {
+	if m.cfg.WindowActivations > 0 {
+		return m.cfg.WindowActivations
+	}
+	return DefaultWindowActivations
+}
+
+// RowRef names one DRAM row.
+type RowRef struct {
+	Bank, Row int
+}
+
+// CandidateFlip is a bit that the fault model reports as flipped by a
+// hammer operation. Whether the flip is observable depends on the
+// current content of the bit (direction filter), which the physical
+// memory layer applies.
+type CandidateFlip struct {
+	// Addr is the physical address of the byte containing the cell.
+	Addr memdef.HPA
+	// Bit is the bit index within that byte (0..7).
+	Bit uint
+	// Direction is the only direction in which the cell flips.
+	Direction FlipDirection
+	// Row locates the victim cell for diagnostics.
+	Row RowRef
+}
+
+// AddrOfCell converts a (bank, row, bitIndex) fault coordinate to a
+// physical byte address and bit position, using the geometry's exact
+// bank-function inverse.
+func (m *Module) AddrOfCell(bank, row, bitIndex int) (memdef.HPA, uint) {
+	byteInBankRow := bitIndex / 8
+	line := byteInBankRow / LineSize
+	byteInLine := byteInBankRow % LineSize
+	a := m.Geo.ComposeLine(bank, row, line)
+	return a + memdef.HPA(byteInLine), uint(bitIndex % 8)
+}
+
+// HammerOp describes one hammer operation: a set of aggressor rows
+// each activated Rounds times within refresh windows. The operation
+// models the paper's pattern of hammering two same-bank rows for
+// 250,000 rounds.
+type HammerOp struct {
+	Aggressors []RowRef
+	Rounds     int
+	// rng drives unstable-cell flips; derived from op content when
+	// nil so results stay deterministic.
+	rng *rand.Rand
+}
+
+// Hammer evaluates the fault model for one hammer operation and
+// returns the candidate flips in all victim rows. The disturbance on
+// a victim row is the weighted sum of aggressor activations at row
+// distance 1 and 2 within the same bank; a vulnerable cell flips when
+// the disturbance reaches its threshold (always for stable cells, with
+// probability FlakyP for unstable ones).
+func (m *Module) Hammer(op HammerOp) []CandidateFlip {
+	if op.Rounds <= 0 || len(op.Aggressors) == 0 {
+		return nil
+	}
+	// Deduplicate aggressor rows: repeated accesses to an already-open
+	// row are row-buffer hits and cause no extra activations, so a
+	// "pattern" naming the same row twice hammers no harder than one
+	// naming it once. Alternating between two distinct same-bank rows
+	// is what forces an activation per access.
+	unique := make([]RowRef, 0, len(op.Aggressors))
+	seenRows := make(map[RowRef]bool, len(op.Aggressors))
+	for _, ag := range op.Aggressors {
+		if !seenRows[ag] {
+			seenRows[ag] = true
+			unique = append(unique, ag)
+		}
+	}
+	// Row buffers are per bank: a row alone in its bank stays open
+	// across all accesses and activates only once per refresh window,
+	// far too rarely to disturb neighbours. Only banks with at least
+	// two accessed rows see an activation per access — which is why
+	// the attack must place both aggressors in the same bank.
+	perBank := make(map[int]int)
+	for _, ag := range unique {
+		perBank[ag.Bank]++
+	}
+	active := unique[:0]
+	for _, ag := range unique {
+		if perBank[ag.Bank] >= 2 {
+			active = append(active, ag)
+		}
+	}
+	if len(active) == 0 {
+		return nil
+	}
+
+	// In-DRAM Target Row Refresh neutralizes tracked aggressors
+	// (Section 6 mitigation discussion); only untracked ones disturb
+	// their neighbours.
+	m.ops++
+	active = m.cfg.TRR.trrFilter(active, m.ops)
+	if len(active) == 0 {
+		return nil
+	}
+
+	// Per-row activations cannot exceed the refresh-window budget:
+	// beyond it the victim has been refreshed and the leak restarts.
+	rounds := op.Rounds
+	if cap := m.windowActivations(); rounds > cap {
+		rounds = cap
+	}
+
+	// Accumulate disturbance per victim row.
+	dist := make(map[rowKey]float64)
+	for _, ag := range active {
+		for _, d := range []int{-2, -1, 1, 2} {
+			v := ag.Row + d
+			if v < 0 || v >= m.Geo.Rows() {
+				continue
+			}
+			w := m.cfg.NeighborWeight1
+			if d == 2 || d == -2 {
+				w = m.cfg.NeighborWeight2
+			}
+			dist[rowKey{ag.Bank, v}] += w * float64(rounds)
+		}
+	}
+	// Aggressor rows themselves are being driven, not disturbed.
+	for _, ag := range op.Aggressors {
+		delete(dist, rowKey{ag.Bank, ag.Row})
+	}
+
+	rng := op.rng
+	if rng == nil {
+		var h uint64 = m.cfg.Seed ^ 0xA24BAED4963EE407
+		for _, ag := range op.Aggressors {
+			h = h*0x100000001B3 ^ uint64(ag.Bank)
+			h = h*0x100000001B3 ^ uint64(ag.Row)
+		}
+		h = h*0x100000001B3 ^ uint64(op.Rounds)
+		h = h*0x100000001B3 ^ m.ops
+		rng = rand.New(rand.NewPCG(h, h^0xD6E8FEB86659FD93))
+	}
+
+	// Deterministic victim iteration order.
+	victims := make([]rowKey, 0, len(dist))
+	for k := range dist {
+		victims = append(victims, k)
+	}
+	sort.Slice(victims, func(i, j int) bool {
+		if victims[i].bank != victims[j].bank {
+			return victims[i].bank < victims[j].bank
+		}
+		return victims[i].row < victims[j].row
+	})
+
+	var flips []CandidateFlip
+	for _, v := range victims {
+		disturbance := dist[v]
+		for _, c := range m.VulnerableCells(v.bank, v.row) {
+			if disturbance < c.Threshold {
+				continue
+			}
+			if !c.Stable && rng.Float64() >= c.FlakyP {
+				continue
+			}
+			addr, bit := m.AddrOfCell(v.bank, v.row, c.BitIndex)
+			flips = append(flips, CandidateFlip{
+				Addr:      addr,
+				Bit:       bit,
+				Direction: c.Direction,
+				Row:       RowRef{v.bank, v.row},
+			})
+		}
+	}
+	return flips
+}
+
+// Activations returns the total DRAM activations an op performs, for
+// virtual-clock charging.
+func (op HammerOp) Activations() int64 {
+	return int64(op.Rounds) * int64(len(op.Aggressors))
+}

@@ -1,0 +1,63 @@
+package dram
+
+import (
+	"math/rand/v2"
+	"time"
+
+	"hyperhammer/internal/memdef"
+)
+
+// Timing models the row-buffer side channel that DRAMDig-style tools
+// use to reverse engineer the bank function (Section 5.1). Accessing
+// two addresses in the same bank but different rows forces a row-buffer
+// conflict (precharge + activate), which is measurably slower than a
+// row hit or an access to a different bank.
+type Timing struct {
+	geo *Geometry
+	rng *rand.Rand
+
+	// HitLatency is the latency of a row-buffer hit or different-bank
+	// access pair.
+	HitLatency time.Duration
+	// ConflictLatency is the latency of a same-bank different-row
+	// access pair.
+	ConflictLatency time.Duration
+	// Jitter is the +/- uniform measurement noise added per probe,
+	// modelling system-level interference on a real machine.
+	Jitter time.Duration
+}
+
+// NewTiming builds a timing model for a geometry with DDR4-2666-like
+// constants and a deterministic noise source.
+func NewTiming(geo *Geometry, seed uint64) *Timing {
+	return &Timing{
+		geo:             geo,
+		rng:             rand.New(rand.NewPCG(seed, seed^0x2545F4914F6CDD1D)),
+		HitLatency:      230 * time.Nanosecond,
+		ConflictLatency: 330 * time.Nanosecond,
+		Jitter:          18 * time.Nanosecond,
+	}
+}
+
+// ProbePair returns the measured latency of alternating accesses to a
+// and b with cache flushes, the primitive DRAMDig measures.
+func (t *Timing) ProbePair(a, b memdef.HPA) time.Duration {
+	base := t.HitLatency
+	if t.geo.Bank(a) == t.geo.Bank(b) && t.geo.Row(a) != t.geo.Row(b) {
+		base = t.ConflictLatency
+	}
+	if t.Jitter > 0 {
+		noise := time.Duration(t.rng.Int64N(int64(2*t.Jitter))) - t.Jitter
+		base += noise
+	}
+	if base < 0 {
+		base = 0
+	}
+	return base
+}
+
+// Conflicts reports ground truth for tests: whether a and b collide in
+// a bank with different rows.
+func (t *Timing) Conflicts(a, b memdef.HPA) bool {
+	return t.geo.Bank(a) == t.geo.Bank(b) && t.geo.Row(a) != t.geo.Row(b)
+}

@@ -1,0 +1,72 @@
+package dram
+
+import (
+	"math/rand/v2"
+)
+
+// TRRConfig models in-DRAM Target Row Refresh, one of the two deployed
+// hardware mitigations the paper's Section 6 discusses. Real TRR
+// implementations keep a small per-bank tracker of frequently
+// activated rows and refresh their neighbours before charge leakage
+// accumulates; TRRespass (Frigo et al., cited by the paper) showed the
+// tracker's limited capacity can be overwhelmed with many-sided
+// patterns.
+//
+// The model: per hammer operation and bank, the tracker catches up to
+// Slots aggressor rows (sampling uniformly when there are more) and
+// neutralizes their disturbance contribution. A pattern with at most
+// Slots aggressors per bank is fully mitigated; wider patterns leak
+// the untracked aggressors' disturbance through.
+type TRRConfig struct {
+	// Slots is the per-bank tracker capacity. Production DDR4 parts
+	// reverse engineered by TRRespass track on the order of 1-4
+	// aggressors per bank.
+	Slots int
+	// Seed drives the sampling of which aggressors the tracker
+	// catches when oversubscribed.
+	Seed uint64
+}
+
+// trrFilter returns the aggressors whose disturbance escapes the
+// tracker for one operation. ops is the module's operation nonce so
+// sampling varies between repeated identical operations.
+func (c *TRRConfig) trrFilter(aggressors []RowRef, ops uint64) []RowRef {
+	if c == nil || c.Slots <= 0 {
+		return aggressors
+	}
+	// Group per bank: the tracker is a per-bank structure.
+	perBank := make(map[int][]RowRef)
+	for _, ag := range aggressors {
+		perBank[ag.Bank] = append(perBank[ag.Bank], ag)
+	}
+	var escaped []RowRef
+	for bank, rows := range perBank {
+		if len(rows) <= c.Slots {
+			continue // fully tracked and neutralized
+		}
+		// Oversubscribed: the tracker samples Slots of them; the rest
+		// escape. Deterministic per (seed, op, bank).
+		h := c.Seed ^ ops*0x9E3779B97F4A7C15 ^ uint64(bank)*0xBF58476D1CE4E5B9
+		rng := rand.New(rand.NewPCG(h, h^0x94D049BB133111EB))
+		idx := rng.Perm(len(rows))
+		for _, i := range idx[c.Slots:] {
+			escaped = append(escaped, rows[i])
+		}
+	}
+	// Keep input order for determinism downstream.
+	if len(escaped) > 1 {
+		ordered := escaped[:0]
+		inEscaped := make(map[RowRef]bool, len(escaped))
+		for _, r := range escaped {
+			inEscaped[r] = true
+		}
+		for _, ag := range aggressors {
+			if inEscaped[ag] {
+				ordered = append(ordered, ag)
+				delete(inEscaped, ag)
+			}
+		}
+		escaped = ordered
+	}
+	return escaped
+}

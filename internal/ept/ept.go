@@ -1,0 +1,415 @@
+// Package ept implements 4-level hardware page tables stored inside
+// the simulated physical memory. The same machinery backs both the
+// extended page tables (EPT) that KVM uses to translate guest physical
+// to host physical addresses (Section 2.2) and the IOMMU page tables
+// (IOPT) that translate I/O virtual addresses (Section 2.5).
+//
+// Crucially, table pages live in phys.Memory and every walk re-reads
+// the stored words. A Rowhammer bit flip that lands in a table page
+// therefore genuinely changes address translation — which is the whole
+// attack.
+package ept
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"hyperhammer/internal/memdef"
+)
+
+// Perm is the permission triple of an EPT entry (bits 0-2).
+type Perm uint8
+
+const (
+	// PermRead allows reads through the mapping.
+	PermRead Perm = 1 << 0
+	// PermWrite allows writes through the mapping.
+	PermWrite Perm = 1 << 1
+	// PermExec allows instruction fetches through the mapping. The
+	// iTLB Multihit countermeasure clears this bit on 2 MiB leaves.
+	PermExec Perm = 1 << 2
+
+	// PermRW is the usual data permission set.
+	PermRW = PermRead | PermWrite
+	// PermRWX grants everything.
+	PermRWX = PermRead | PermWrite | PermExec
+)
+
+// Entry is one 64-bit EPT/IOPT entry.
+//
+// Layout (Intel SDM Vol 3C, simplified to the bits the paper uses):
+//
+//	bits 0-2   R/W/X permissions; all zero means not present
+//	bit 7      large page (2 MiB leaf when set at level 2)
+//	bits 12-47 physical frame number
+type Entry uint64
+
+const (
+	largeBit = 1 << 7
+	pfnMask  = 0x0000FFFFFFFFF000
+)
+
+// NewEntry builds an entry pointing at frame pfn with the given
+// permissions; large marks a 2 MiB leaf.
+func NewEntry(pfn memdef.PFN, perm Perm, large bool) Entry {
+	e := Entry(uint64(pfn)<<memdef.PageShift&pfnMask) | Entry(perm&7)
+	if large {
+		e |= largeBit
+	}
+	return e
+}
+
+// Present reports whether the entry grants any access.
+func (e Entry) Present() bool { return e&7 != 0 }
+
+// Perm returns the entry's permission bits.
+func (e Entry) Perm() Perm { return Perm(e & 7) }
+
+// Large reports the 2 MiB-leaf bit.
+func (e Entry) Large() bool { return e&largeBit != 0 }
+
+// PFN returns the frame number in bits 12-47.
+func (e Entry) PFN() memdef.PFN { return memdef.PFN((uint64(e) & pfnMask) >> memdef.PageShift) }
+
+// WithPerm returns the entry with its permission bits replaced.
+func (e Entry) WithPerm(p Perm) Entry { return (e &^ 7) | Entry(p&7) }
+
+// Memory is the word-addressable storage a table structure lives in.
+// The hypervisor's EPT/IOPT structures live in host physical memory
+// (phys.Memory); a guest's own page tables live in guest physical
+// memory through the same interface, so both are subject to whatever
+// corruption reaches their storage.
+type Memory interface {
+	// Word returns the 64-bit word at an 8-byte-aligned address.
+	Word(a memdef.HPA) uint64
+	// SetWord writes the 64-bit word at an 8-byte-aligned address.
+	SetWord(a memdef.HPA, v uint64)
+	// ZeroPage clears one frame.
+	ZeroPage(p memdef.PFN)
+	// PageWord returns word idx (0..511) of a frame.
+	PageWord(p memdef.PFN, idx int) uint64
+	// SetPageWord writes word idx of a frame.
+	SetPageWord(p memdef.PFN, idx int, v uint64)
+	// Frames returns the number of addressable frames.
+	Frames() int
+}
+
+// Allocator provides zeroable table pages. The hypervisor implements
+// it on top of the host buddy allocator with MIGRATE_UNMOVABLE order-0
+// pages — the allocation the attacker steers onto vulnerable frames.
+type Allocator interface {
+	// AllocTable returns a frame to be used as a table page.
+	AllocTable() (memdef.PFN, error)
+	// FreeTable returns a table frame.
+	FreeTable(p memdef.PFN)
+}
+
+// Errors returned by table operations.
+var (
+	// ErrNotMapped reports a translation of an unmapped address
+	// (an EPT violation, which KVM handles by faulting in pages).
+	ErrNotMapped = errors.New("ept: address not mapped")
+	// ErrMisconfigured reports a walk through an entry whose frame
+	// number points outside physical memory — what the hardware
+	// reports as an EPT misconfiguration. Flips can cause this.
+	ErrMisconfigured = errors.New("ept: misconfigured entry")
+	// ErrAlreadyMapped reports a conflicting Map call.
+	ErrAlreadyMapped = errors.New("ept: range already mapped")
+	// ErrNotHuge reports SplitHuge on a non-hugepage mapping.
+	ErrNotHuge = errors.New("ept: mapping is not a 2 MiB leaf")
+)
+
+// Structure levels. The root is level 4 (PML4-equivalent) in the
+// common 4-level mode or level 5 (PML5) in 5-level mode (Section 2.2
+// describes both; the paper's attack targets the 4-level leaf pages,
+// which exist identically in both modes). Level 1 is the leaf page
+// table; a 2 MiB leaf terminates the walk at level 2.
+const (
+	leafLevel = 1
+	// Levels4 and Levels5 select the paging depth at construction.
+	Levels4 = 4
+	Levels5 = 5
+)
+
+// Table is one 4- or 5-level translation structure.
+type Table struct {
+	mem       Memory
+	alloc     Allocator
+	root      memdef.PFN
+	rootLevel int
+
+	// tables records every table page the *hypervisor* allocated for
+	// this structure and its level. It is bookkeeping, not the truth:
+	// translation always follows the (possibly flip-corrupted) words
+	// in memory. Used for instrumentation such as Table 2's EPT-page
+	// dump and for teardown.
+	tables map[memdef.PFN]int
+}
+
+// New allocates an empty 4-level table structure, the mode the paper
+// evaluates.
+func New(mem Memory, alloc Allocator) (*Table, error) {
+	return NewWithLevels(mem, alloc, Levels4)
+}
+
+// NewWithLevels allocates an empty table structure with the given
+// paging depth (Levels4 or Levels5).
+func NewWithLevels(mem Memory, alloc Allocator, levels int) (*Table, error) {
+	if levels != Levels4 && levels != Levels5 {
+		return nil, fmt.Errorf("ept: unsupported paging depth %d", levels)
+	}
+	root, err := alloc.AllocTable()
+	if err != nil {
+		return nil, fmt.Errorf("ept: allocating root: %w", err)
+	}
+	mem.ZeroPage(root)
+	t := &Table{
+		mem:       mem,
+		alloc:     alloc,
+		root:      root,
+		rootLevel: levels,
+		tables:    map[memdef.PFN]int{root: levels},
+	}
+	return t, nil
+}
+
+// Levels returns the structure's paging depth.
+func (t *Table) Levels() int { return t.rootLevel }
+
+// Root returns the root table frame.
+func (t *Table) Root() memdef.PFN { return t.root }
+
+func index(va uint64, level int) int {
+	return int(va>>(memdef.PageShift+9*uint(level-1))) & (memdef.EntriesPerTable - 1)
+}
+
+// entryAddr returns the physical address of the entry for va within
+// table page tp at the given level.
+func entryAddr(tp memdef.PFN, va uint64, level int) memdef.HPA {
+	return tp.HPAOf() + memdef.HPA(index(va, level)*8)
+}
+
+func (t *Table) readEntry(tp memdef.PFN, va uint64, level int) Entry {
+	return Entry(t.mem.Word(entryAddr(tp, va, level)))
+}
+
+func (t *Table) writeEntry(tp memdef.PFN, va uint64, level int, e Entry) {
+	t.mem.SetWord(entryAddr(tp, va, level), uint64(e))
+}
+
+func (t *Table) frameValid(p memdef.PFN) bool {
+	return uint64(p) < uint64(t.mem.Frames())
+}
+
+// walkTo descends to the table page holding the entry for va at
+// toLevel, allocating intermediate tables if create is set. It returns
+// the table page at toLevel.
+func (t *Table) walkTo(va uint64, toLevel int, create bool) (memdef.PFN, error) {
+	tp := t.root
+	for level := t.rootLevel; level > toLevel; level-- {
+		e := t.readEntry(tp, va, level)
+		if !e.Present() {
+			if !create {
+				return 0, ErrNotMapped
+			}
+			next, err := t.alloc.AllocTable()
+			if err != nil {
+				return 0, fmt.Errorf("ept: allocating level-%d table: %w", level-1, err)
+			}
+			t.mem.ZeroPage(next)
+			t.tables[next] = level - 1
+			t.writeEntry(tp, va, level, NewEntry(next, PermRWX, false))
+			tp = next
+			continue
+		}
+		if e.Large() {
+			return 0, ErrAlreadyMapped
+		}
+		next := e.PFN()
+		if !t.frameValid(next) {
+			return 0, ErrMisconfigured
+		}
+		tp = next
+	}
+	return tp, nil
+}
+
+// Map4K installs a 4 KiB mapping va -> frame with permissions perm.
+func (t *Table) Map4K(va uint64, frame memdef.PFN, perm Perm) error {
+	tp, err := t.walkTo(va, leafLevel, true)
+	if err != nil {
+		return err
+	}
+	if t.readEntry(tp, va, leafLevel).Present() {
+		return ErrAlreadyMapped
+	}
+	t.writeEntry(tp, va, leafLevel, NewEntry(frame, perm, false))
+	return nil
+}
+
+// Map2M installs a 2 MiB leaf mapping at level 2. va and frame must be
+// 2 MiB aligned.
+func (t *Table) Map2M(va uint64, frame memdef.PFN, perm Perm) error {
+	if !memdef.HugeAligned(va) || !memdef.HugeAligned(uint64(frame)<<memdef.PageShift) {
+		return fmt.Errorf("ept: unaligned 2M mapping va=%#x frame=%d", va, frame)
+	}
+	tp, err := t.walkTo(va, 2, true)
+	if err != nil {
+		return err
+	}
+	if t.readEntry(tp, va, 2).Present() {
+		return ErrAlreadyMapped
+	}
+	t.writeEntry(tp, va, 2, NewEntry(frame, perm, true))
+	return nil
+}
+
+// Translation is the result of a successful walk.
+type Translation struct {
+	// HPA is the translated physical address.
+	HPA memdef.HPA
+	// Perm is the effective permission of the leaf entry.
+	Perm Perm
+	// PageSize is 4 KiB or 2 MiB.
+	PageSize uint64
+	// EntryAddr is the physical address of the leaf entry used —
+	// exposed so instrumentation (and tests) can locate the EPTE
+	// without re-walking.
+	EntryAddr memdef.HPA
+	// Level is the level the walk terminated at (1 or 2).
+	Level int
+}
+
+// Translate walks the structure for va. It follows whatever the table
+// words currently say, so corrupted entries translate "successfully"
+// to wherever they now point, exactly like hardware.
+func (t *Table) Translate(va uint64) (Translation, error) {
+	tp := t.root
+	for level := t.rootLevel; level >= leafLevel; level-- {
+		e := t.readEntry(tp, va, level)
+		if !e.Present() {
+			return Translation{}, ErrNotMapped
+		}
+		isLeaf := level == leafLevel || (level == 2 && e.Large())
+		if isLeaf {
+			var pageSize uint64 = memdef.PageSize
+			if level == 2 {
+				pageSize = memdef.HugePageSize
+			}
+			base := uint64(e.PFN()) << memdef.PageShift
+			hpa := memdef.HPA(base&^(pageSize-1) | va&(pageSize-1))
+			if !t.frameValid(memdef.PFNOf(hpa)) {
+				return Translation{}, ErrMisconfigured
+			}
+			return Translation{
+				HPA:       hpa,
+				Perm:      e.Perm(),
+				PageSize:  pageSize,
+				EntryAddr: entryAddr(tp, va, level),
+				Level:     level,
+			}, nil
+		}
+		if e.Large() {
+			return Translation{}, ErrMisconfigured
+		}
+		next := e.PFN()
+		if !t.frameValid(next) {
+			return Translation{}, ErrMisconfigured
+		}
+		tp = next
+	}
+	panic("unreachable")
+}
+
+// SetLeafPerm replaces the permission bits of the leaf entry mapping
+// va (either page size). Used by the multihit countermeasure to mark
+// hugepages non-executable.
+func (t *Table) SetLeafPerm(va uint64, perm Perm) error {
+	tr, err := t.Translate(va)
+	if err != nil {
+		return err
+	}
+	e := Entry(t.mem.Word(tr.EntryAddr))
+	t.mem.SetWord(tr.EntryAddr, uint64(e.WithPerm(perm)))
+	return nil
+}
+
+// SplitHuge demotes the 2 MiB leaf covering va into 512 4 KiB entries
+// with permissions perm, allocating one new leaf table page — the
+// exact operation the iTLB Multihit countermeasure performs and the
+// allocation that Page Steering targets (Section 4.2.3). It returns
+// the frame of the new leaf table.
+func (t *Table) SplitHuge(va uint64, perm Perm) (memdef.PFN, error) {
+	va = uint64(memdef.HugeBase(va))
+	tp, err := t.walkTo(va, 2, false)
+	if err != nil {
+		return 0, err
+	}
+	e := t.readEntry(tp, va, 2)
+	if !e.Present() || !e.Large() {
+		return 0, ErrNotHuge
+	}
+	leaf, err := t.alloc.AllocTable()
+	if err != nil {
+		return 0, fmt.Errorf("ept: allocating split leaf: %w", err)
+	}
+	t.mem.ZeroPage(leaf)
+	t.tables[leaf] = leafLevel
+	base := e.PFN()
+	for i := 0; i < memdef.PagesPerHuge; i++ {
+		t.mem.SetPageWord(leaf, i, uint64(NewEntry(base+memdef.PFN(i), perm, false)))
+	}
+	t.writeEntry(tp, va, 2, NewEntry(leaf, PermRWX, false))
+	return leaf, nil
+}
+
+// Unmap clears the leaf entry covering va (4 KiB or 2 MiB leaf) and
+// returns the entry that was removed. Table pages are not reclaimed on
+// unmap, matching KVM's behaviour of keeping the paging structure.
+func (t *Table) Unmap(va uint64) (Entry, error) {
+	tr, err := t.Translate(va)
+	if err != nil {
+		return 0, err
+	}
+	e := Entry(t.mem.Word(tr.EntryAddr))
+	t.mem.SetWord(tr.EntryAddr, 0)
+	return e, nil
+}
+
+// TablePages returns the frames of all hypervisor-allocated table
+// pages at the given level (per bookkeeping, not memory contents).
+// Level 1 returns the leaf tables — the paper's "EPT pages" count E.
+func (t *Table) TablePages(level int) []memdef.PFN {
+	var out []memdef.PFN
+	for p, l := range t.tables {
+		if l == level {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// NumTables returns the total number of table pages at all levels.
+func (t *Table) NumTables() int { return len(t.tables) }
+
+// IsTablePage reports whether frame p is a bookkept table page of this
+// structure and its level.
+func (t *Table) IsTablePage(p memdef.PFN) (int, bool) {
+	l, ok := t.tables[p]
+	return l, ok
+}
+
+// Destroy frees every bookkept table page back to the allocator, in
+// frame order so the allocator's free-list state stays deterministic.
+func (t *Table) Destroy() {
+	pages := make([]memdef.PFN, 0, len(t.tables))
+	for p := range t.tables {
+		pages = append(pages, p)
+	}
+	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
+	for _, p := range pages {
+		t.alloc.FreeTable(p)
+	}
+	t.tables = nil
+}

@@ -1,0 +1,68 @@
+package ept
+
+import (
+	"testing"
+
+	"hyperhammer/internal/memdef"
+	"hyperhammer/internal/phys"
+)
+
+func benchTable(b *testing.B) *Table {
+	b.Helper()
+	mem := phys.New(256 * memdef.MiB)
+	tbl, err := New(mem, &bumpAlloc{next: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		if err := tbl.Map2M(uint64(i)*memdef.HugePageSize, memdef.PFN(512*(i+1)), PermRW); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return tbl
+}
+
+func BenchmarkTranslateHuge(b *testing.B) {
+	tbl := benchTable(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tbl.Translate(uint64(i%64)*memdef.HugePageSize + 0x1234); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTranslate4K(b *testing.B) {
+	tbl := benchTable(b)
+	for i := 0; i < 64; i++ {
+		if _, err := tbl.SplitHuge(uint64(i)*memdef.HugePageSize, PermRWX); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tbl.Translate(uint64(i%64)*memdef.HugePageSize + 0x1234); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSplitHuge(b *testing.B) {
+	// Splits are one-way (the attack relies on that), so each
+	// iteration rebuilds a minimal table outside the timed section.
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		mem := phys.New(16 * memdef.MiB)
+		tbl, err := New(mem, &bumpAlloc{next: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := tbl.Map2M(0, 512, PermRW); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := tbl.SplitHuge(0, PermRWX); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package ept
+
+import (
+	"testing"
+
+	"hyperhammer/internal/memdef"
+	"hyperhammer/internal/phys"
+)
+
+// FuzzEntryRoundTrip checks that entry construction and field
+// extraction are exact inverses for arbitrary inputs, and that no
+// input smuggles bits between fields.
+func FuzzEntryRoundTrip(f *testing.F) {
+	f.Add(uint64(0), uint8(0), false)
+	f.Add(uint64(0xFFFFFFFFF), uint8(7), true)
+	f.Add(uint64(12345), uint8(3), false)
+	f.Fuzz(func(t *testing.T, pfnRaw uint64, permRaw uint8, large bool) {
+		pfn := memdef.PFN(pfnRaw & 0xFFFFFFFFF) // bits 12-47 => 36-bit PFN
+		perm := Perm(permRaw & 7)
+		e := NewEntry(pfn, perm, large)
+		if e.PFN() != pfn {
+			t.Fatalf("PFN %#x -> %#x", pfn, e.PFN())
+		}
+		if e.Perm() != perm {
+			t.Fatalf("Perm %v -> %v", perm, e.Perm())
+		}
+		if e.Large() != large {
+			t.Fatal("large bit mangled")
+		}
+		if e.Present() != (perm != 0) {
+			t.Fatal("present inconsistent with perm")
+		}
+		// WithPerm must not disturb the other fields.
+		e2 := e.WithPerm(PermRead)
+		if e2.PFN() != pfn || e2.Large() != large || e2.Perm() != PermRead {
+			t.Fatal("WithPerm disturbed other fields")
+		}
+	})
+}
+
+// FuzzTranslateRobustness writes arbitrary garbage into a leaf table
+// page and checks that translation never panics and never returns an
+// address outside physical memory — the EPT-misconfiguration guarantee
+// the attack's flip chaos relies on.
+func FuzzTranslateRobustness(f *testing.F) {
+	f.Add(uint64(0xDEADBEEF), uint64(0))
+	f.Add(^uint64(0), uint64(511))
+	f.Add(uint64(1)<<63|7, uint64(42))
+	f.Fuzz(func(t *testing.T, word uint64, idxRaw uint64) {
+		mem := phys.New(32 * memdef.MiB)
+		alloc := &bumpAlloc{next: 1}
+		tbl, err := New(mem, alloc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tbl.Map2M(0, 512, PermRW); err != nil {
+			t.Fatal(err)
+		}
+		leaf, err := tbl.SplitHuge(0, PermRWX)
+		if err != nil {
+			t.Fatal(err)
+		}
+		idx := int(idxRaw % memdef.EntriesPerTable)
+		mem.SetPageWord(leaf, idx, word)
+		va := uint64(idx) << memdef.PageShift
+		tr, err := tbl.Translate(va + 8)
+		if err != nil {
+			return // fault or misconfiguration: fine
+		}
+		if uint64(memdef.PFNOf(tr.HPA)) >= uint64(mem.Frames()) {
+			t.Fatalf("translation escaped memory: %#x", tr.HPA)
+		}
+	})
+}

@@ -1,0 +1,117 @@
+package ept
+
+import (
+	"errors"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"hyperhammer/internal/memdef"
+	"hyperhammer/internal/phys"
+)
+
+// Property: for any set of non-overlapping 4 KiB and 2 MiB mappings,
+// Translate returns exactly what was mapped (with correct page offset)
+// and ErrNotMapped everywhere else.
+func TestPropertyMapTranslate(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		rng := rand.New(rand.NewPCG(seed, 99))
+		mem := phys.New(512 * memdef.MiB)
+		alloc := &bumpAlloc{next: 1}
+		tbl, err := New(mem, alloc)
+		if err != nil {
+			return false
+		}
+		type mapping struct {
+			va    uint64
+			frame memdef.PFN
+			huge  bool
+		}
+		var maps []mapping
+		usedChunks := make(map[uint64]bool)
+		n := int(nRaw)%40 + 5
+		for i := 0; i < n; i++ {
+			chunk := rng.Uint64N(1 << 12) // chunk index within a 8 GiB space
+			if usedChunks[chunk] {
+				continue
+			}
+			usedChunks[chunk] = true
+			if rng.IntN(2) == 0 {
+				va := chunk << memdef.HugePageShift
+				frame := memdef.PFN(rng.Uint64N(100)+1) << 9 // huge-aligned
+				if tbl.Map2M(va, frame, PermRW) != nil {
+					return false
+				}
+				maps = append(maps, mapping{va, frame, true})
+			} else {
+				va := chunk<<memdef.HugePageShift | rng.Uint64N(512)<<memdef.PageShift
+				frame := memdef.PFN(rng.Uint64N(100_000) + 1)
+				if tbl.Map4K(va, frame, PermRW) != nil {
+					return false
+				}
+				maps = append(maps, mapping{va, frame, false})
+			}
+		}
+		for _, m := range maps {
+			off := rng.Uint64N(memdef.PageSize) &^ 7
+			tr, err := tbl.Translate(m.va + off)
+			if err != nil {
+				return false
+			}
+			want := m.frame.HPAOf() + memdef.HPA(off)
+			if tr.HPA != want {
+				return false
+			}
+		}
+		// Unmapped chunks fault.
+		for i := 0; i < 10; i++ {
+			chunk := rng.Uint64N(1 << 12)
+			if usedChunks[chunk] {
+				continue
+			}
+			if _, err := tbl.Translate(chunk << memdef.HugePageShift); !errors.Is(err, ErrNotMapped) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: SplitHuge preserves the translation of every 4 KiB page of
+// the hugepage while adding exactly one table page.
+func TestPropertySplitPreservesTranslation(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 5))
+		mem := phys.New(256 * memdef.MiB)
+		alloc := &bumpAlloc{next: 1}
+		tbl, err := New(mem, alloc)
+		if err != nil {
+			return false
+		}
+		va := rng.Uint64N(256) << memdef.HugePageShift
+		frame := memdef.PFN(rng.Uint64N(64)+1) << 9
+		if tbl.Map2M(va, frame, PermRW) != nil {
+			return false
+		}
+		before := tbl.NumTables()
+		if _, err := tbl.SplitHuge(va+rng.Uint64N(memdef.HugePageSize), PermRWX); err != nil {
+			return false
+		}
+		if tbl.NumTables() != before+1 {
+			return false
+		}
+		for i := 0; i < memdef.PagesPerHuge; i += 17 {
+			tr, err := tbl.Translate(va + uint64(i)<<memdef.PageShift)
+			if err != nil || tr.HPA != (frame+memdef.PFN(i)).HPAOf() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,296 @@
+package ept
+
+import (
+	"errors"
+	"testing"
+
+	"hyperhammer/internal/memdef"
+	"hyperhammer/internal/phys"
+)
+
+// bumpAlloc hands out frames top-down from a private pool.
+type bumpAlloc struct {
+	next  memdef.PFN
+	freed []memdef.PFN
+}
+
+func (b *bumpAlloc) AllocTable() (memdef.PFN, error) {
+	p := b.next
+	b.next++
+	return p, nil
+}
+
+func (b *bumpAlloc) FreeTable(p memdef.PFN) { b.freed = append(b.freed, p) }
+
+func newTestTable(t *testing.T) (*Table, *phys.Memory, *bumpAlloc) {
+	t.Helper()
+	mem := phys.New(64 * memdef.MiB)
+	alloc := &bumpAlloc{next: 1000}
+	tbl, err := New(mem, alloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl, mem, alloc
+}
+
+func TestEntryFormat(t *testing.T) {
+	e := NewEntry(0x12345, PermRW, false)
+	if !e.Present() || e.Large() {
+		t.Error("entry flags wrong")
+	}
+	if e.PFN() != 0x12345 {
+		t.Errorf("PFN = %#x", e.PFN())
+	}
+	if e.Perm() != PermRW {
+		t.Errorf("Perm = %v", e.Perm())
+	}
+	h := NewEntry(0x200, PermRWX, true)
+	if !h.Large() {
+		t.Error("large bit lost")
+	}
+	if got := h.WithPerm(PermRead); got.Perm() != PermRead || !got.Large() {
+		t.Error("WithPerm mangled entry")
+	}
+	var zero Entry
+	if zero.Present() {
+		t.Error("zero entry present")
+	}
+}
+
+func TestMap4KTranslate(t *testing.T) {
+	tbl, _, _ := newTestTable(t)
+	if err := tbl.Map4K(0x7000_2000, 42, PermRW); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := tbl.Translate(0x7000_2ABC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := memdef.HPA(42*memdef.PageSize + 0xABC); tr.HPA != want {
+		t.Errorf("HPA = %#x, want %#x", tr.HPA, want)
+	}
+	if tr.PageSize != memdef.PageSize || tr.Perm != PermRW || tr.Level != 1 {
+		t.Errorf("translation meta wrong: %+v", tr)
+	}
+	// A 4-level walk for one page allocates root + 3 tables.
+	if got := tbl.NumTables(); got != 4 {
+		t.Errorf("NumTables = %d, want 4", got)
+	}
+}
+
+func TestMap2MTranslate(t *testing.T) {
+	tbl, _, _ := newTestTable(t)
+	framesPerHuge := memdef.PFN(memdef.PagesPerHuge)
+	if err := tbl.Map2M(4*memdef.MiB, 2*framesPerHuge, PermRWX); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := tbl.Translate(4*memdef.MiB + 0x12345)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := memdef.HPA(4*memdef.MiB + 0x12345); tr.HPA != want {
+		t.Errorf("HPA = %#x, want %#x", tr.HPA, want)
+	}
+	if tr.PageSize != memdef.HugePageSize || tr.Level != 2 {
+		t.Errorf("translation meta wrong: %+v", tr)
+	}
+}
+
+func TestMapErrors(t *testing.T) {
+	tbl, _, _ := newTestTable(t)
+	if err := tbl.Map2M(123, 0, PermRW); err == nil {
+		t.Error("unaligned Map2M accepted")
+	}
+	if err := tbl.Map4K(0x1000, 1, PermRW); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Map4K(0x1000, 2, PermRW); !errors.Is(err, ErrAlreadyMapped) {
+		t.Errorf("double Map4K: %v", err)
+	}
+	if err := tbl.Map2M(0, 512, PermRW); !errors.Is(err, ErrAlreadyMapped) {
+		t.Errorf("Map2M over 4K: %v", err)
+	}
+	if _, err := tbl.Translate(0x9999_0000); !errors.Is(err, ErrNotMapped) {
+		t.Errorf("Translate unmapped: %v", err)
+	}
+}
+
+func TestSplitHuge(t *testing.T) {
+	tbl, mem, _ := newTestTable(t)
+	if err := tbl.Map2M(2*memdef.MiB, 512, PermRW); err != nil { // NX hugepage
+		t.Fatal(err)
+	}
+	before := tbl.NumTables()
+	leaf, err := tbl.SplitHuge(2*memdef.MiB+0x555, PermRWX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumTables() != before+1 {
+		t.Errorf("split allocated %d tables, want 1", tbl.NumTables()-before)
+	}
+	// Every 4 KiB page translates to the same frames as before, now
+	// executable and via a level-1 leaf.
+	for i := 0; i < memdef.PagesPerHuge; i += 37 {
+		va := uint64(2*memdef.MiB + i*memdef.PageSize + 8)
+		tr, err := tbl.Translate(va)
+		if err != nil {
+			t.Fatalf("page %d: %v", i, err)
+		}
+		if want := memdef.HPA(512*memdef.PageSize + uint64(i*memdef.PageSize) + 8); tr.HPA != want {
+			t.Errorf("page %d HPA = %#x, want %#x", i, tr.HPA, want)
+		}
+		if tr.Perm != PermRWX || tr.Level != 1 {
+			t.Errorf("page %d: perm %v level %d", i, tr.Perm, tr.Level)
+		}
+	}
+	// The new leaf table's content is real memory: 512 entries.
+	if w := mem.PageWord(leaf, 0); Entry(w).PFN() != 512 {
+		t.Errorf("leaf entry 0 PFN = %d", Entry(w).PFN())
+	}
+	// Splitting again fails: no longer huge.
+	if _, err := tbl.SplitHuge(2*memdef.MiB, PermRWX); !errors.Is(err, ErrNotHuge) {
+		t.Errorf("second split: %v", err)
+	}
+}
+
+func TestSetLeafPerm(t *testing.T) {
+	tbl, _, _ := newTestTable(t)
+	if err := tbl.Map2M(0, 512, PermRWX); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.SetLeafPerm(0x1234, PermRW); err != nil {
+		t.Fatal(err)
+	}
+	tr, _ := tbl.Translate(0)
+	if tr.Perm != PermRW {
+		t.Errorf("perm after SetLeafPerm = %v", tr.Perm)
+	}
+}
+
+func TestUnmap(t *testing.T) {
+	tbl, _, _ := newTestTable(t)
+	if err := tbl.Map4K(0x4000, 7, PermRW); err != nil {
+		t.Fatal(err)
+	}
+	e, err := tbl.Unmap(0x4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.PFN() != 7 {
+		t.Errorf("unmapped entry PFN = %d", e.PFN())
+	}
+	if _, err := tbl.Translate(0x4000); !errors.Is(err, ErrNotMapped) {
+		t.Errorf("translate after unmap: %v", err)
+	}
+}
+
+// A bit flip in a leaf EPTE must redirect translation — the physical
+// mechanism of the whole attack.
+func TestFlipInLeafEntryRedirectsTranslation(t *testing.T) {
+	tbl, mem, _ := newTestTable(t)
+	if err := tbl.Map4K(0x8000, 64, PermRW); err != nil { // PFN 64 = bit 6
+		t.Fatal(err)
+	}
+	tr, _ := tbl.Translate(0x8000)
+	// Flip bit 12+7=19 of the entry: PFN 64 -> 64+128 = 192.
+	byteAddr := tr.EntryAddr + 2 // bits 16..23 live in byte 2
+	if !mem.FlipBit(byteAddr, 3, false) {
+		t.Fatal("flip did not apply")
+	}
+	tr2, err := tbl.Translate(0x8000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := memdef.HPA(192 * memdef.PageSize); tr2.HPA != want {
+		t.Errorf("post-flip HPA = %#x, want %#x", tr2.HPA, want)
+	}
+}
+
+// A flip that pushes the PFN outside physical memory must surface as a
+// misconfiguration, not a crash.
+func TestFlipOutOfRangeIsMisconfiguration(t *testing.T) {
+	tbl, mem, _ := newTestTable(t)
+	if err := tbl.Map4K(0x8000, 3, PermRW); err != nil {
+		t.Fatal(err)
+	}
+	tr, _ := tbl.Translate(0x8000)
+	// Set a high PFN bit (bit 40 of the entry = byte 5, bit 0).
+	if !mem.FlipBit(tr.EntryAddr+5, 0, false) {
+		t.Fatal("flip did not apply")
+	}
+	if _, err := tbl.Translate(0x8000); !errors.Is(err, ErrMisconfigured) {
+		t.Errorf("expected misconfiguration, got %v", err)
+	}
+}
+
+func TestTablePagesAndDestroy(t *testing.T) {
+	tbl, _, alloc := newTestTable(t)
+	for i := 0; i < 4; i++ {
+		if err := tbl.Map2M(uint64(i)*memdef.HugePageSize, memdef.PFN(512*(i+1)), PermRW); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := tbl.SplitHuge(0, PermRWX); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(tbl.TablePages(1)); got != 1 {
+		t.Errorf("leaf tables = %d, want 1", got)
+	}
+	if _, ok := tbl.IsTablePage(tbl.Root()); !ok {
+		t.Error("root not a table page")
+	}
+	n := tbl.NumTables()
+	tbl.Destroy()
+	if len(alloc.freed) != n {
+		t.Errorf("Destroy freed %d pages, want %d", len(alloc.freed), n)
+	}
+}
+
+func TestFiveLevelMode(t *testing.T) {
+	mem := phys.New(64 * memdef.MiB)
+	alloc := &bumpAlloc{next: 2000}
+	tbl, err := NewWithLevels(mem, alloc, Levels5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Levels() != 5 {
+		t.Fatalf("Levels = %d", tbl.Levels())
+	}
+	// An address above the 4-level 48-bit limit, reachable only with
+	// 5-level paging.
+	const va = uint64(1)<<52 | 0x1234_5000
+	if err := tbl.Map4K(va, 99, PermRW); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := tbl.Translate(va + 0x18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := memdef.HPA(99*memdef.PageSize + 0x18); tr.HPA != want {
+		t.Errorf("HPA = %#x, want %#x", tr.HPA, want)
+	}
+	// One page through 5 levels allocates root + 4 intermediate tables.
+	if got := tbl.NumTables(); got != 5 {
+		t.Errorf("NumTables = %d, want 5", got)
+	}
+	// Hugepage mapping and splitting work identically at level 2.
+	if err := tbl.Map2M(uint64(1)<<52|4*memdef.MiB, 512, PermRW); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.SplitHuge(uint64(1)<<52|4*memdef.MiB, PermRWX); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(tbl.TablePages(1)); got != 2 {
+		t.Errorf("leaf tables = %d, want 2", got)
+	}
+}
+
+func TestNewWithLevelsRejectsBadDepth(t *testing.T) {
+	mem := phys.New(4 * memdef.MiB)
+	alloc := &bumpAlloc{next: 1}
+	for _, levels := range []int{0, 3, 6} {
+		if _, err := NewWithLevels(mem, alloc, levels); err == nil {
+			t.Errorf("depth %d accepted", levels)
+		}
+	}
+}

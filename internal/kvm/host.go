@@ -1,0 +1,363 @@
+// Package kvm models the host side of the paper's stack: a Linux/KVM
+// hypervisor that owns the physical memory, backs guest VMs with
+// transparent hugepages, maintains their extended page tables, applies
+// the iTLB Multihit countermeasure (NX hugepages with split-on-exec),
+// and exposes virtio-mem and vIOMMU devices.
+//
+// Everything a guest does reaches physical memory through this
+// package, and everything this package allocates comes from the same
+// buddy allocator the attacker manipulates — the two facts Page
+// Steering depends on.
+package kvm
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+
+	"hyperhammer/internal/buddy"
+	"hyperhammer/internal/dram"
+	"hyperhammer/internal/memdef"
+	"hyperhammer/internal/phys"
+	"hyperhammer/internal/simtime"
+	"hyperhammer/internal/trace"
+	"hyperhammer/internal/virtio"
+)
+
+// Config describes one host machine.
+type Config struct {
+	// Geometry is the DRAM addressing model (nil selects the S1
+	// machine, Intel Core i3-10100 with 16 GiB).
+	Geometry *dram.Geometry
+	// Fault is the Rowhammer fault model of the installed DIMMs.
+	Fault dram.FaultModelConfig
+	// Buddy tunes the host page allocator.
+	Buddy buddy.Config
+	// THP enables transparent hugepages for guest backing, KVM's
+	// default (Section 4.1). Without it guests are backed by
+	// scattered 4 KiB pages and the low-21-bit address correspondence
+	// is lost.
+	THP bool
+	// NXHugepages enables the iTLB Multihit countermeasure: guest
+	// hugepages are mapped non-executable and split into 4 KiB pages
+	// on the first instruction fetch (Section 4.2.3). KVM enables
+	// this by default on affected processors.
+	NXHugepages bool
+	// BootNoisePages is the approximate number of free small-order
+	// MIGRATE_UNMOVABLE pages left over after host boot — the initial
+	// "noise pages" level of Figure 3. Tens of thousands on a plain
+	// KVM host (S1/S2), far more under OpenStack (S3).
+	BootNoisePages int
+	// ECC enables SECDED error-correcting memory, the server-class
+	// configuration the paper's Section 6 notes its evaluation
+	// machines lack: single-bit flips are corrected by scrubbing
+	// before software ever observes them, and a double-bit error in
+	// one 64-bit word raises an uncorrectable machine check that
+	// takes the host down.
+	ECC bool
+	// MultihitBugPresent marks the CPU as affected by the iTLB
+	// Multihit erratum (Comet Lake and earlier, Section 4.2.3). With
+	// NXHugepages off on an affected CPU, a malicious guest can crash
+	// the host — the DoS the countermeasure exists to stop.
+	MultihitBugPresent bool
+	// Seed drives all host-side randomness (boot noise layout).
+	Seed uint64
+	// Quarantine, when non-nil, installs the paper's Section 6
+	// countermeasure on every virtio-mem device.
+	Quarantine virtio.Guard
+	// Trace, when non-nil, receives structured host-side events (VM
+	// lifecycle, releases, splits, applied flips, machine checks).
+	Trace *trace.Recorder
+}
+
+// DefaultConfig returns an S1-like host: i3-10100 geometry, S1 fault
+// model, THP and the multihit countermeasure enabled, stock QEMU
+// (no quarantine).
+func DefaultConfig() Config {
+	return Config{
+		Geometry:       dram.CoreI310100(),
+		Fault:          dram.S1FaultModel(1),
+		Buddy:          buddy.DefaultConfig(),
+		THP:            true,
+		NXHugepages:    true,
+		BootNoisePages: 30000,
+		Seed:           1,
+	}
+}
+
+// AppliedFlip records one Rowhammer bit flip that actually changed
+// memory contents, for host-side instrumentation. The attacker never
+// sees this log; it observes flips only by scanning its own memory.
+type AppliedFlip struct {
+	Addr      memdef.HPA
+	Bit       uint
+	Direction dram.FlipDirection
+}
+
+// Host is the hypervisor machine.
+type Host struct {
+	Mem   *phys.Memory
+	DRAM  *dram.Module
+	Buddy *buddy.Allocator
+	Clock *simtime.Clock
+
+	cfg Config
+	rng *rand.Rand
+
+	vms map[*VM]struct{}
+
+	// kernelPages are frames the "host kernel" holds forever (boot
+	// allocations that create the initial unmovable noise).
+	kernelPages []memdef.PFN
+
+	// tableOwner maps every live EPT/IOPT table frame to the VM whose
+	// translations it serves, for TLB-coherence on writes and for
+	// instrumentation.
+	tableOwner map[memdef.PFN]*VM
+
+	// releasedLog records, in order, the base PFNs of order-9 blocks
+	// that VMs released through virtio-mem — the paper's added
+	// logging function for the Table 2 experiment.
+	releasedLog []memdef.PFN
+
+	// flipLog records every applied bit flip in order. Guests consume
+	// it only through the scan interfaces, which charge full scan
+	// time.
+	flipLog []AppliedFlip
+
+	// eccCorrected counts flips the ECC scrubber silently repaired;
+	// eccDetected counts uncorrectable double-bit words.
+	eccCorrected, eccDetected int
+
+	// crashed marks a host taken down by an uncorrectable error or a
+	// multihit machine check; all further guest activity fails.
+	crashed bool
+}
+
+// ErrHostDown reports operations on a crashed host.
+var ErrHostDown = errors.New("kvm: host machine-checked")
+
+// Crashed reports whether the host has machine-checked.
+func (h *Host) Crashed() bool { return h.crashed }
+
+// ECCStats returns (corrected single-bit flips, detected uncorrectable
+// words) — host telemetry an operator would read from EDAC counters.
+func (h *Host) ECCStats() (corrected, detected int) {
+	return h.eccCorrected, h.eccDetected
+}
+
+// NewHost boots a host machine.
+func NewHost(cfg Config) (*Host, error) {
+	if cfg.Geometry == nil {
+		return nil, fmt.Errorf("kvm: config needs a DRAM geometry")
+	}
+	if cfg.Buddy.PCPBatch == 0 {
+		cfg.Buddy = buddy.DefaultConfig()
+	}
+	h := &Host{
+		Mem:        phys.New(cfg.Geometry.Size),
+		DRAM:       dram.NewModule(cfg.Geometry, cfg.Fault),
+		Buddy:      buddy.New(0, cfg.Geometry.Size/memdef.PageSize, cfg.Buddy),
+		Clock:      &simtime.Clock{},
+		cfg:        cfg,
+		rng:        rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0x6C62272E07BB0142)),
+		vms:        make(map[*VM]struct{}),
+		tableOwner: make(map[memdef.PFN]*VM),
+	}
+	if err := h.bootNoise(); err != nil {
+		return nil, err
+	}
+	h.cfg.Trace.BindClock(h.Clock)
+	h.cfg.Trace.Emit("host.boot",
+		"geometry", cfg.Geometry.Name,
+		"memBytes", cfg.Geometry.Size,
+		"noisePages", h.NoisePages(),
+		"thp", cfg.THP, "nxHugepages", cfg.NXHugepages, "ecc", cfg.ECC)
+	return h, nil
+}
+
+// Config returns the host's configuration.
+func (h *Host) Config() Config { return h.cfg }
+
+// bootNoise reproduces the post-boot state of the host's unmovable
+// free lists: kernel allocations interleaved with frees leave tens of
+// thousands of free small-order MIGRATE_UNMOVABLE pages behind.
+func (h *Host) bootNoise() error {
+	target := h.cfg.BootNoisePages
+	if target <= 0 {
+		// Still reserve a handful of kernel pages (PlantSecret needs
+		// one, and a real kernel always holds some).
+		for i := 0; i < 16; i++ {
+			p, err := h.Buddy.Alloc(0, memdef.MigrateUnmovable)
+			if err != nil {
+				return fmt.Errorf("kvm: boot reserve: %w", err)
+			}
+			h.kernelPages = append(h.kernelPages, p)
+		}
+		return nil
+	}
+	// Allocate first, free after: freeing as we go would only hand the
+	// pages straight back to the next allocation. Freeing a random
+	// subset of a contiguous run leaves kept pages interleaved with
+	// free ones, which is exactly the fragmented small-block state a
+	// booted kernel exhibits.
+	var pages []memdef.PFN
+	for i := 0; i < 2*target+64; i++ {
+		p, err := h.Buddy.Alloc(0, memdef.MigrateUnmovable)
+		if err != nil {
+			return fmt.Errorf("kvm: boot noise: %w", err)
+		}
+		pages = append(pages, p)
+	}
+	for _, p := range pages {
+		if h.rng.Float64() < 0.5 {
+			h.Buddy.Free(p, 0, memdef.MigrateUnmovable)
+		} else {
+			h.kernelPages = append(h.kernelPages, p)
+		}
+	}
+	// Top up or trim toward the target; random choices and buddy
+	// coalescing move the count either way.
+	for h.Buddy.NoisePages(memdef.MigrateUnmovable) < target && len(h.kernelPages) > 16 {
+		p := h.kernelPages[len(h.kernelPages)-1]
+		h.kernelPages = h.kernelPages[:len(h.kernelPages)-1]
+		h.Buddy.Free(p, 0, memdef.MigrateUnmovable)
+	}
+	return nil
+}
+
+// NoisePages returns the current count of free small-order unmovable
+// pages — the simulation's /proc/pagetypeinfo-derived metric from
+// Figure 3. This is host-side observability; the attacker cannot read
+// it (Section 4.2.1: "no indication when all small blocks are
+// consumed").
+func (h *Host) NoisePages() int {
+	return h.Buddy.NoisePages(memdef.MigrateUnmovable)
+}
+
+// ReleasedBlockLog returns the PFNs of every order-9 block released by
+// VMs via virtio-mem, the paper's first instrumentation function for
+// Table 2.
+func (h *Host) ReleasedBlockLog() []memdef.PFN {
+	out := make([]memdef.PFN, len(h.releasedLog))
+	copy(out, h.releasedLog)
+	return out
+}
+
+// FlipLog returns all applied flips so far (host instrumentation).
+func (h *Host) FlipLog() []AppliedFlip {
+	out := make([]AppliedFlip, len(h.flipLog))
+	copy(out, h.flipLog)
+	return out
+}
+
+// VMs returns the live VM count.
+func (h *Host) VMs() int { return len(h.vms) }
+
+// BackgroundChurn models host-side activity between attack attempts:
+// kernel services and host processes allocating and freeing unmovable
+// pages. The net allocation is zero, but the reordering of the free
+// lists it causes is what makes consecutive attack attempts sample
+// different page-reuse pairings — on a real host this drift is
+// continuous and free. ops is the number of transient allocations.
+func (h *Host) BackgroundChurn(ops int) {
+	var held []memdef.PFN
+	for i := 0; i < ops; i++ {
+		switch h.rng.IntN(3) {
+		case 0: // allocate and hold briefly
+			if p, err := h.Buddy.AllocPage(memdef.MigrateUnmovable); err == nil {
+				held = append(held, p)
+			}
+		case 1: // free one held page in random order
+			if len(held) > 0 {
+				j := h.rng.IntN(len(held))
+				h.Buddy.FreePage(held[j], memdef.MigrateUnmovable)
+				held[j] = held[len(held)-1]
+				held = held[:len(held)-1]
+			}
+		case 2: // short-lived larger allocation (page-cache style)
+			order := 1 + h.rng.IntN(3)
+			if p, err := h.Buddy.Alloc(order, memdef.MigrateUnmovable); err == nil {
+				h.Buddy.Free(p, order, memdef.MigrateUnmovable)
+			}
+		}
+	}
+	for _, p := range held {
+		h.Buddy.FreePage(p, memdef.MigrateUnmovable)
+	}
+}
+
+// PlantSecret fills one host-kernel-owned page (never mapped into any
+// VM) with the given word and returns its physical address. Experiment
+// harnesses use it to verify that a claimed VM escape really reads
+// host memory, mirroring the magic-value check of Section 5.3.2.
+func (h *Host) PlantSecret(value uint64) memdef.HPA {
+	if len(h.kernelPages) == 0 {
+		panic("kvm: no kernel pages to plant a secret in")
+	}
+	p := h.kernelPages[0]
+	h.Mem.FillWord(p, value)
+	return p.HPAOf()
+}
+
+// registerTable records t as a live table frame serving vm.
+func (h *Host) registerTable(p memdef.PFN, vm *VM) { h.tableOwner[p] = vm }
+
+func (h *Host) unregisterTable(p memdef.PFN) { delete(h.tableOwner, p) }
+
+// noteWrite maintains TLB coherence: a write that lands in a live
+// table frame invalidates the owning VM's cached translations, the
+// way a hardware page-table write eventually invalidates TLB entries.
+func (h *Host) noteWrite(a memdef.HPA) {
+	if vm, ok := h.tableOwner[memdef.PFNOf(a)]; ok {
+		vm.flushTLB()
+	}
+}
+
+// applyFlips commits candidate flips from the DRAM fault model to
+// memory contents, records the applied ones and invalidates all
+// cached translations (hammering thrashes the caches anyway).
+//
+// With ECC enabled, a lone flipped bit per 64-bit word is corrected by
+// the scrubber before software observes it; two flips in the same word
+// exceed SECDED and machine-check the host.
+func (h *Host) applyFlips(cands []dram.CandidateFlip) int {
+	if h.cfg.ECC {
+		perWord := make(map[memdef.HPA]int)
+		for _, f := range cands {
+			// Only count flips that would actually change the bit.
+			w := h.Mem.Word(f.Addr &^ 7)
+			bitPos := (uint(f.Addr)&7)*8 + f.Bit
+			cur := (w >> bitPos) & 1
+			if (f.Direction == dram.FlipOneToZero) == (cur == 1) {
+				perWord[f.Addr&^7]++
+			}
+		}
+		for _, n := range perWord {
+			if n >= 2 {
+				h.eccDetected++
+				h.crashed = true
+			} else {
+				h.eccCorrected++
+			}
+		}
+		// Correctable single-bit errors are scrubbed before any read;
+		// uncorrectable words have already taken the host down.
+		return 0
+	}
+	applied := 0
+	for _, f := range cands {
+		if h.Mem.FlipBit(f.Addr, f.Bit, f.Direction == dram.FlipOneToZero) {
+			h.flipLog = append(h.flipLog, AppliedFlip{Addr: f.Addr, Bit: f.Bit, Direction: f.Direction})
+			applied++
+			h.cfg.Trace.Emit("dram.flip",
+				"hpa", fmt.Sprintf("%#x", f.Addr), "bit", f.Bit, "dir", f.Direction)
+		}
+	}
+	if applied > 0 {
+		for vm := range h.vms {
+			vm.flushTLB()
+		}
+	}
+	return applied
+}

@@ -1,0 +1,116 @@
+// Package memdef defines the shared address vocabulary of the simulated
+// machine: the distinct address spaces of the paper's stack (guest
+// virtual, guest physical, host physical, I/O virtual), page frame
+// numbers, and the size constants that the rest of the repository is
+// built on.
+//
+// The types are deliberately distinct named integers so that the
+// compiler rejects accidental mixing of address spaces — the exact bug
+// class the paper's attack exploits at the architectural level.
+package memdef
+
+// Page and block size constants. These mirror x86-64 and the Linux
+// buddy system configuration the paper targets (Section 2.3).
+const (
+	// PageShift is log2 of the base page size (4 KiB).
+	PageShift = 12
+	// PageSize is the base page size in bytes.
+	PageSize = 1 << PageShift
+	// HugePageShift is log2 of the 2 MiB hugepage size.
+	HugePageShift = 21
+	// HugePageSize is the 2 MiB hugepage size in bytes.
+	HugePageSize = 1 << HugePageShift
+	// PagesPerHuge is the number of base pages in one hugepage (512).
+	PagesPerHuge = HugePageSize / PageSize
+
+	// MaxOrder is the Linux MAX_ORDER on x86-64: free lists hold
+	// blocks of order 0..MaxOrder-1, so the largest block is
+	// 2^(MaxOrder-1) = 1024 pages.
+	MaxOrder = 11
+
+	// HugeOrder is the buddy order of a 2 MiB block (order-9:
+	// 512 pages), which is also the virtio-mem sub-block size.
+	HugeOrder = HugePageShift - PageShift
+
+	// EntriesPerTable is the number of 64-bit entries in one 4 KiB
+	// page-table page (EPT, IOPT, or guest PT).
+	EntriesPerTable = PageSize / 8
+)
+
+// Size aliases in bytes, for readable configuration literals.
+const (
+	KiB = 1 << 10
+	MiB = 1 << 20
+	GiB = 1 << 30
+)
+
+// HPA is a host physical address — the "real" machine address that
+// indexes DRAM. Only the hypervisor side of the simulation may mint
+// or dereference HPAs.
+type HPA uint64
+
+// GPA is a guest physical address: what the guest believes is physical
+// memory. EPTs translate GPA to HPA.
+type GPA uint64
+
+// GVA is a guest virtual address, translated to GPA by the guest's own
+// page tables (modelled as the guest.OS mapping layer).
+type GVA uint64
+
+// IOVA is an I/O virtual address in a vIOMMU address space, translated
+// to GPA by IOMMU page tables.
+type IOVA uint64
+
+// PFN is a host page frame number: HPA >> PageShift.
+type PFN uint64
+
+// GFN is a guest frame number: GPA >> PageShift.
+type GFN uint64
+
+// HPAOf returns the host physical address of the start of frame p.
+func (p PFN) HPAOf() HPA { return HPA(p) << PageShift }
+
+// GPAOf returns the guest physical address of the start of frame g.
+func (g GFN) GPAOf() GPA { return GPA(g) << PageShift }
+
+// PFNOf returns the frame containing host physical address a.
+func PFNOf(a HPA) PFN { return PFN(a >> PageShift) }
+
+// GFNOf returns the guest frame containing guest physical address a.
+func GFNOf(a GPA) GFN { return GFN(a >> PageShift) }
+
+// PageOffset returns the offset of a within its 4 KiB frame.
+func PageOffset[T ~uint64](a T) uint64 { return uint64(a) & (PageSize - 1) }
+
+// HugeAligned reports whether a is aligned to a 2 MiB boundary.
+func HugeAligned[T ~uint64](a T) bool { return uint64(a)&(HugePageSize-1) == 0 }
+
+// HugeBase returns a rounded down to its 2 MiB hugepage base.
+func HugeBase[T ~uint64](a T) T { return a &^ T(HugePageSize-1) }
+
+// MigrateType is the Linux page migration type (Section 2.4). The
+// simulation models the two types the paper's attack manipulates.
+type MigrateType uint8
+
+const (
+	// MigrateUnmovable marks pages that may not be migrated (kernel
+	// allocations such as EPT and IOPT pages, pinned VFIO memory).
+	MigrateUnmovable MigrateType = iota
+	// MigrateMovable marks pages whose contents can be migrated
+	// (most user/guest memory).
+	MigrateMovable
+	// NumMigrateTypes is the number of modelled migration types.
+	NumMigrateTypes
+)
+
+// String returns the kernel-style name of the migration type.
+func (m MigrateType) String() string {
+	switch m {
+	case MigrateUnmovable:
+		return "Unmovable"
+	case MigrateMovable:
+		return "Movable"
+	default:
+		return "Unknown"
+	}
+}

@@ -1,0 +1,53 @@
+package memdef
+
+import "testing"
+
+func TestConstants(t *testing.T) {
+	if PageSize != 4096 || HugePageSize != 2*1024*1024 {
+		t.Fatal("page size constants wrong")
+	}
+	if PagesPerHuge != 512 || EntriesPerTable != 512 {
+		t.Fatal("derived constants wrong")
+	}
+	if HugeOrder != 9 || MaxOrder != 11 {
+		t.Fatal("buddy constants wrong")
+	}
+}
+
+func TestAddressConversions(t *testing.T) {
+	p := PFN(0x1234)
+	if p.HPAOf() != HPA(0x1234000) {
+		t.Errorf("HPAOf = %#x", p.HPAOf())
+	}
+	if PFNOf(0x1234FFF) != p {
+		t.Errorf("PFNOf = %#x", PFNOf(0x1234FFF))
+	}
+	g := GFN(7)
+	if g.GPAOf() != GPA(0x7000) {
+		t.Errorf("GPAOf = %#x", g.GPAOf())
+	}
+	if GFNOf(0x7FFF) != g {
+		t.Errorf("GFNOf = %#x", GFNOf(0x7FFF))
+	}
+}
+
+func TestPageHelpers(t *testing.T) {
+	if PageOffset(HPA(0x12345)) != 0x345 {
+		t.Error("PageOffset wrong")
+	}
+	if !HugeAligned(GPA(4*MiB)) || HugeAligned(GPA(4*MiB+1)) {
+		t.Error("HugeAligned wrong")
+	}
+	if HugeBase(GVA(0x7FC0_0012_3456)) != GVA(0x7FC0_0000_0000) {
+		t.Errorf("HugeBase = %#x", HugeBase(GVA(0x7FC0_0012_3456)))
+	}
+}
+
+func TestMigrateTypeString(t *testing.T) {
+	if MigrateUnmovable.String() != "Unmovable" || MigrateMovable.String() != "Movable" {
+		t.Error("names wrong")
+	}
+	if MigrateType(9).String() != "Unknown" {
+		t.Error("unknown type not handled")
+	}
+}

@@ -1,0 +1,40 @@
+package mitigation
+
+import (
+	"errors"
+	"testing"
+
+	"hyperhammer/internal/memdef"
+)
+
+const sb = 2 * memdef.MiB // sub-block size in the guard's units
+
+func TestQuarantineRules(t *testing.T) {
+	guard, stats := Quarantine()
+	cases := []struct {
+		name               string
+		delta              int64
+		current, requested uint64
+		blocked            bool
+	}{
+		{"idle voluntary unplug", -sb, 10 * sb, 10 * sb, true},
+		{"idle voluntary plug", +sb, 10 * sb, 10 * sb, true},
+		{"legit shrink step", -sb, 10 * sb, 8 * sb, false},
+		{"legit grow step", +sb, 6 * sb, 8 * sb, false},
+		{"overshoot shrink", -3 * sb, 10 * sb, 8 * sb, true},
+		{"wrong direction", +sb, 10 * sb, 8 * sb, true},
+		{"exact final step", -sb, 9 * sb, 8 * sb, false},
+	}
+	for _, c := range cases {
+		err := guard(c.delta, c.current, c.requested)
+		if got := err != nil; got != c.blocked {
+			t.Errorf("%s: blocked=%v, want %v (err=%v)", c.name, got, c.blocked, err)
+		}
+		if err != nil && !errors.Is(err, ErrQuarantined) {
+			t.Errorf("%s: error not ErrQuarantined: %v", c.name, err)
+		}
+	}
+	if stats.Blocked != 4 || stats.Allowed != 3 {
+		t.Errorf("stats = %+v", stats)
+	}
+}

@@ -1,0 +1,105 @@
+package phys
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"hyperhammer/internal/memdef"
+)
+
+// Property: the content store behaves exactly like a flat word array
+// under any interleaving of word writes, page fills and bit flips.
+func TestPropertyMatchesFlatArray(t *testing.T) {
+	const size = 256 * memdef.KiB
+	const words = size / 8
+	f := func(seed uint64, opsRaw uint16) bool {
+		rng := rand.New(rand.NewPCG(seed, 42))
+		m := New(size)
+		ref := make([]uint64, words)
+		ops := int(opsRaw)%500 + 50
+		for i := 0; i < ops; i++ {
+			switch rng.IntN(4) {
+			case 0: // word write
+				w := rng.IntN(words)
+				v := rng.Uint64()
+				m.SetWord(memdef.HPA(w*8), v)
+				ref[w] = v
+			case 1: // page fill
+				p := rng.IntN(size / memdef.PageSize)
+				v := rng.Uint64()
+				m.FillWord(memdef.PFN(p), v)
+				for w := p * 512; w < (p+1)*512; w++ {
+					ref[w] = v
+				}
+			case 2: // bit flip in a legal direction
+				w := rng.IntN(words)
+				bitPos := uint(rng.IntN(64))
+				addr := memdef.HPA(w*8) + memdef.HPA(bitPos/8)
+				bit := bitPos % 8
+				cur := (ref[w] >> bitPos) & 1
+				oneToZero := cur == 1
+				if !m.FlipBit(addr, bit, oneToZero) {
+					return false // legal flip refused
+				}
+				ref[w] ^= 1 << bitPos
+			case 3: // bit flip in the illegal direction: must refuse
+				w := rng.IntN(words)
+				bitPos := uint(rng.IntN(64))
+				addr := memdef.HPA(w*8) + memdef.HPA(bitPos/8)
+				bit := bitPos % 8
+				cur := (ref[w] >> bitPos) & 1
+				if m.FlipBit(addr, bit, cur == 0) {
+					return false // flip applied against its direction
+				}
+			}
+			// Spot-check a few random words.
+			for k := 0; k < 4; k++ {
+				w := rng.IntN(words)
+				if m.Word(memdef.HPA(w*8)) != ref[w] {
+					return false
+				}
+			}
+		}
+		// Full sweep at the end.
+		for w := 0; w < words; w++ {
+			if m.Word(memdef.HPA(w*8)) != ref[w] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: PageUniform agrees with a word-by-word scan.
+func TestPropertyPageUniform(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 7))
+		m := New(64 * memdef.KiB)
+		p := memdef.PFN(rng.IntN(16))
+		v := rng.Uint64()
+		m.FillWord(p, v)
+		if rng.IntN(2) == 0 {
+			m.SetPageWord(p, rng.IntN(512), v^1)
+		}
+		w, uniform := m.PageUniform(p)
+		first := m.PageWord(p, 0)
+		same := true
+		for i := 1; i < 512; i++ {
+			if m.PageWord(p, i) != first {
+				same = false
+				break
+			}
+		}
+		if uniform != same {
+			return false
+		}
+		return !uniform || w == first
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

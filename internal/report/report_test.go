@@ -1,0 +1,70 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Table X", "System", "Time", "Total")
+	tb.AddRow("S1", 72*time.Hour, 395)
+	tb.AddRow("S2", 48*time.Hour, 650)
+	out := tb.String()
+	for _, want := range []string{"Table X", "System", "S1", "72.0h", "650"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Errorf("table has %d lines", len(lines))
+	}
+}
+
+func TestTableFloatFormatting(t *testing.T) {
+	tb := NewTable("", "R_N")
+	tb.AddRow(0.1014)
+	if !strings.Contains(tb.String(), "0.1") {
+		t.Errorf("float row: %s", tb.String())
+	}
+}
+
+func TestFigureRendering(t *testing.T) {
+	f := NewFigure("Figure 3(a)", "time (s)", "noise pages")
+	s1 := f.AddSeries("S1")
+	s1.Add(0, 30000)
+	s1.Add(60, 500)
+	s2 := f.AddSeries("S2")
+	s2.Add(0, 35000)
+	out := f.String()
+	for _, want := range []string{"Figure 3(a)", "series: S1", "0\t30000", "60\t500", "series: S2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("figure output missing %q:\n%s", want, out)
+		}
+	}
+	sum := f.Summary()
+	if !strings.Contains(sum, "S1: start=30000 min=500 max=30000 final=500") {
+		t.Errorf("summary: %s", sum)
+	}
+}
+
+func TestFormatDuration(t *testing.T) {
+	cases := map[time.Duration]string{
+		30 * time.Second:       "30.0s",
+		5 * time.Minute:        "5.0min",
+		16*time.Hour + 42*60e9: "16.7h",
+		192 * 24 * time.Hour:   "192.0d",
+	}
+	for d, want := range cases {
+		if got := FormatDuration(d); got != want {
+			t.Errorf("FormatDuration(%v) = %q, want %q", d, got, want)
+		}
+	}
+}
+
+func TestPercent(t *testing.T) {
+	if got := Percent(0.913); got != "91.3%" {
+		t.Errorf("Percent = %q", got)
+	}
+}

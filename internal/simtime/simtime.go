@@ -1,0 +1,111 @@
+// Package simtime provides the virtual clock of the simulation.
+//
+// HyperHammer's evaluation reports wall-clock costs (72 h of profiling,
+// ~4 minute attack attempts, multi-day campaigns). Re-running those on
+// a real clock is impossible and unnecessary: every cost in the attack
+// is dominated by a small set of primitive operations whose latency is
+// known. The simulation therefore charges each primitive to a virtual
+// clock and reports virtual durations, which reproduce the *shape* of
+// the paper's timing tables.
+package simtime
+
+import (
+	"fmt"
+	"time"
+)
+
+// Cost constants for primitive operations, expressed as virtual
+// durations. They are calibrated so that the paper's headline numbers
+// come out in the right regime (Section 5): one profiling pass over a
+// 12 GiB space takes tens of hours, one attack attempt takes minutes.
+const (
+	// RowActivation is the cost of one DRAM row activation as driven
+	// from a guest hammer loop: tRC on DDR4-2666 is ~47 ns, but each
+	// activation costs a clflush, a fenced load and the EPT-translated
+	// access path, putting the end-to-end loop iteration near a
+	// microsecond. Calibrated so a full 12 GiB profiling pass lands in
+	// the paper's multi-day regime (Table 1).
+	RowActivation = 300 * time.Nanosecond
+
+	// PageScan is the cost of scanning one 4 KiB page for flipped
+	// bits or magic values (streaming read plus compare at ~25 GB/s).
+	PageScan = 150 * time.Nanosecond
+
+	// PageWrite is the cost of filling one 4 KiB page with a pattern.
+	PageWrite = 500 * time.Nanosecond
+
+	// IOVAMap is the cost of one vIOMMU MAP ioctl round trip
+	// (guest driver -> QEMU vIOMMU emulation -> host VFIO ioctl).
+	IOVAMap = 100 * time.Microsecond
+
+	// VirtioUnplug is the cost of one virtio-mem sub-block unplug
+	// request round trip including host madvise.
+	VirtioUnplug = 150 * time.Microsecond
+
+	// HugepageSplit is the cost of one exec-fault-triggered hugepage
+	// split in the multihit countermeasure path (VM exit + EPT
+	// surgery + resume).
+	HugepageSplit = 40 * time.Microsecond
+
+	// VMReboot is the cost of tearing down and respawning the
+	// attacker VM after a failed attempt (Section 4.3: steering is
+	// not reversible, so each failed attempt costs a reboot) plus
+	// booting its guest OS back to the attack tooling.
+	VMReboot = 180 * time.Second
+
+	// Hypercall is the cost of the GPA->HPA debug hypercall the
+	// paper adds for the Section 5.3.2 experiment.
+	Hypercall = 2 * time.Microsecond
+)
+
+// Clock is a monotonic virtual clock. The zero value is a clock at
+// time zero, ready to use. Clock is not safe for concurrent use; the
+// simulation is single-threaded by design (determinism, Section 3 of
+// DESIGN.md).
+type Clock struct {
+	now time.Duration
+}
+
+// Now returns the current virtual time as a duration since the clock's
+// epoch.
+func (c *Clock) Now() time.Duration { return c.now }
+
+// Advance moves the clock forward by d. Negative d panics: the clock
+// is monotonic and a negative charge is always a bookkeeping bug.
+func (c *Clock) Advance(d time.Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("simtime: negative advance %v", d))
+	}
+	c.now += d
+}
+
+// Charge advances the clock by n repetitions of a unit cost.
+// It saturates rather than overflowing for absurd n.
+func (c *Clock) Charge(n int64, unit time.Duration) {
+	if n <= 0 {
+		return
+	}
+	total := time.Duration(n) * unit
+	if total/unit != time.Duration(n) { // overflow
+		total = 1<<63 - 1 - c.now
+	}
+	c.Advance(total)
+}
+
+// Reset rewinds the clock to zero. Only meant for reusing a machine
+// across benchmark iterations.
+func (c *Clock) Reset() { c.now = 0 }
+
+// Stopwatch measures elapsed virtual time between two points.
+type Stopwatch struct {
+	clock *Clock
+	start time.Duration
+}
+
+// NewStopwatch starts a stopwatch on c.
+func NewStopwatch(c *Clock) Stopwatch {
+	return Stopwatch{clock: c, start: c.Now()}
+}
+
+// Elapsed returns the virtual time since the stopwatch started.
+func (s Stopwatch) Elapsed() time.Duration { return s.clock.Now() - s.start }

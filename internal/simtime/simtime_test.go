@@ -1,0 +1,59 @@
+package simtime
+
+import (
+	"testing"
+	"time"
+)
+
+func TestClockAdvance(t *testing.T) {
+	var c Clock
+	if c.Now() != 0 {
+		t.Fatal("fresh clock not at zero")
+	}
+	c.Advance(3 * time.Second)
+	c.Advance(0)
+	if c.Now() != 3*time.Second {
+		t.Errorf("Now = %v", c.Now())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("negative advance did not panic")
+		}
+	}()
+	c.Advance(-time.Second)
+}
+
+func TestCharge(t *testing.T) {
+	var c Clock
+	c.Charge(250_000, RowActivation)
+	if got, want := c.Now(), 250_000*RowActivation; got != want {
+		t.Errorf("Charge = %v, want %v", got, want)
+	}
+	c.Charge(-5, time.Second)
+	c.Charge(0, time.Second)
+	if c.Now() != 250_000*RowActivation {
+		t.Error("non-positive charges advanced the clock")
+	}
+}
+
+func TestChargeOverflowSaturates(t *testing.T) {
+	var c Clock
+	c.Charge(1<<62, time.Hour)
+	if c.Now() <= 0 {
+		t.Errorf("overflowed to %v", c.Now())
+	}
+}
+
+func TestStopwatch(t *testing.T) {
+	var c Clock
+	c.Advance(time.Minute)
+	sw := NewStopwatch(&c)
+	c.Advance(90 * time.Second)
+	if got := sw.Elapsed(); got != 90*time.Second {
+		t.Errorf("Elapsed = %v", got)
+	}
+	c.Reset()
+	if c.Now() != 0 {
+		t.Error("Reset failed")
+	}
+}

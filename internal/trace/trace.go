@@ -1,0 +1,141 @@
+// Package trace provides structured event tracing for the simulation:
+// hypervisor-side observability (VM lifecycle, releases, splits,
+// applied flips, machine checks) written as JSON lines, with simulated
+// timestamps. It records what a host operator could observe — it is
+// diagnostics for the simulation's users, not an attacker channel.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"hyperhammer/internal/simtime"
+)
+
+// Event is one trace record.
+type Event struct {
+	// Seq is a monotonically increasing sequence number.
+	Seq uint64 `json:"seq"`
+	// SimTime is the simulated time of the event.
+	SimTime string `json:"simTime"`
+	// Kind is a dotted event name, e.g. "virtio.unplug".
+	Kind string `json:"kind"`
+	// Data holds the event's fields.
+	Data map[string]any `json:"data,omitempty"`
+}
+
+// Recorder writes events. A nil *Recorder is valid and drops
+// everything, so instrumented code needs no guards.
+type Recorder struct {
+	clock *simtime.Clock
+	w     io.Writer
+	enc   *json.Encoder
+	seq   uint64
+	// keep retains the most recent events in memory for tests and
+	// programmatic inspection (0 disables).
+	keep   int
+	recent []Event
+	errs   int
+}
+
+// New creates a recorder writing JSON lines to w (which may be nil for
+// an in-memory-only recorder). keep bounds the in-memory ring (0
+// disables retention). The recorder timestamps events from whatever
+// clock it is bound to; the host binds its own clock at boot.
+func New(w io.Writer, keep int) *Recorder {
+	r := &Recorder{w: w, keep: keep}
+	if w != nil {
+		r.enc = json.NewEncoder(w)
+	}
+	return r
+}
+
+// BindClock attaches the simulated clock used for event timestamps.
+// Safe on a nil receiver.
+func (r *Recorder) BindClock(c *simtime.Clock) {
+	if r != nil {
+		r.clock = c
+	}
+}
+
+// Emit records one event. kv lists alternating keys and values; a
+// trailing odd key gets the value nil. Safe on a nil receiver.
+func (r *Recorder) Emit(kind string, kv ...any) {
+	if r == nil {
+		return
+	}
+	r.seq++
+	simNow := time.Duration(0)
+	if r.clock != nil {
+		simNow = r.clock.Now()
+	}
+	ev := Event{
+		Seq:     r.seq,
+		SimTime: simNow.Round(time.Millisecond).String(),
+		Kind:    kind,
+	}
+	if len(kv) > 0 {
+		ev.Data = make(map[string]any, (len(kv)+1)/2)
+		for i := 0; i < len(kv); i += 2 {
+			key, ok := kv[i].(string)
+			if !ok {
+				key = fmt.Sprint(kv[i])
+			}
+			if i+1 < len(kv) {
+				ev.Data[key] = normalize(kv[i+1])
+			} else {
+				ev.Data[key] = nil
+			}
+		}
+	}
+	if r.enc != nil {
+		if err := r.enc.Encode(ev); err != nil {
+			r.errs++
+		}
+	}
+	if r.keep > 0 {
+		r.recent = append(r.recent, ev)
+		if len(r.recent) > r.keep {
+			r.recent = r.recent[len(r.recent)-r.keep:]
+		}
+	}
+}
+
+// normalize converts values that encode poorly (e.g. typed integers)
+// into plain JSON-friendly forms.
+func normalize(v any) any {
+	switch x := v.(type) {
+	case interface{ String() string }:
+		return x.String()
+	default:
+		return v
+	}
+}
+
+// Recent returns the retained events, oldest first.
+func (r *Recorder) Recent() []Event {
+	if r == nil {
+		return nil
+	}
+	out := make([]Event, len(r.recent))
+	copy(out, r.recent)
+	return out
+}
+
+// Count returns how many events were emitted.
+func (r *Recorder) Count() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.seq
+}
+
+// EncodeErrors returns how many events failed to serialize or write.
+func (r *Recorder) EncodeErrors() int {
+	if r == nil {
+		return 0
+	}
+	return r.errs
+}

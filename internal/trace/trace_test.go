@@ -1,0 +1,76 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"hyperhammer/internal/simtime"
+)
+
+func TestEmitWritesJSONLines(t *testing.T) {
+	var buf bytes.Buffer
+	clock := &simtime.Clock{}
+	r := New(&buf, 10)
+	r.BindClock(clock)
+	clock.Advance(90 * time.Second)
+	r.Emit("vm.create", "memBytes", 123, "name", "test")
+	r.Emit("dram.flip", "bit", uint(3))
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	var ev Event
+	if err := json.Unmarshal([]byte(lines[0]), &ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev.Seq != 1 || ev.Kind != "vm.create" || ev.SimTime != "1m30s" {
+		t.Errorf("event = %+v", ev)
+	}
+	if ev.Data["memBytes"].(float64) != 123 || ev.Data["name"] != "test" {
+		t.Errorf("data = %v", ev.Data)
+	}
+	if r.Count() != 2 || r.EncodeErrors() != 0 {
+		t.Errorf("count=%d errs=%d", r.Count(), r.EncodeErrors())
+	}
+}
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	r.Emit("anything", "k", 1)
+	if r.Count() != 0 || r.Recent() != nil || r.EncodeErrors() != 0 {
+		t.Error("nil recorder not inert")
+	}
+}
+
+func TestRecentRing(t *testing.T) {
+	r := New(nil, 3)
+	for i := 0; i < 5; i++ {
+		r.Emit("e", "i", i)
+	}
+	recent := r.Recent()
+	if len(recent) != 3 {
+		t.Fatalf("recent = %d", len(recent))
+	}
+	if recent[0].Data["i"].(int) != 2 || recent[2].Data["i"].(int) != 4 {
+		t.Errorf("ring contents wrong: %v", recent)
+	}
+}
+
+func TestOddKeyValueHandled(t *testing.T) {
+	r := New(nil, 1)
+	r.Emit("e", "lonely")
+	if v, ok := r.Recent()[0].Data["lonely"]; !ok || v != nil {
+		t.Error("odd trailing key mishandled")
+	}
+}
+
+func TestStringerNormalization(t *testing.T) {
+	r := New(nil, 1)
+	r.Emit("e", "d", 5*time.Second)
+	if got := r.Recent()[0].Data["d"]; got != "5s" {
+		t.Errorf("stringer value = %v", got)
+	}
+}

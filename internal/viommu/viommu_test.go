@@ -1,0 +1,165 @@
+package viommu
+
+import (
+	"errors"
+	"testing"
+
+	"hyperhammer/internal/ept"
+	"hyperhammer/internal/memdef"
+	"hyperhammer/internal/phys"
+)
+
+// poolAlloc hands out table frames from a fixed region and counts.
+type poolAlloc struct {
+	next    memdef.PFN
+	allocs  int
+	freed   int
+	failAll bool
+}
+
+func (p *poolAlloc) AllocTable() (memdef.PFN, error) {
+	if p.failAll {
+		return 0, errors.New("injected alloc failure")
+	}
+	f := p.next
+	p.next++
+	p.allocs++
+	return f, nil
+}
+
+func (p *poolAlloc) FreeTable(memdef.PFN) { p.freed++ }
+
+// identBackend resolves GPA x to frame x>>12.
+type identBackend struct{ fail bool }
+
+func (b identBackend) ResolveGPA(gpa memdef.GPA) (memdef.PFN, error) {
+	if b.fail {
+		return 0, errors.New("unbacked")
+	}
+	return memdef.PFN(gpa >> memdef.PageShift), nil
+}
+
+func newGroup(t *testing.T, limit int) (*Group, *poolAlloc) {
+	t.Helper()
+	mem := phys.New(256 * memdef.MiB)
+	alloc := &poolAlloc{next: 100}
+	g, err := NewGroup(mem, alloc, identBackend{}, limit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, alloc
+}
+
+func TestMapTranslate(t *testing.T) {
+	g, _ := newGroup(t, 0)
+	if g.MapLimit() != DefaultMapLimit {
+		t.Errorf("MapLimit = %d", g.MapLimit())
+	}
+	if err := g.Map(0x1_0000_0000, 7*memdef.PageSize); err != nil {
+		t.Fatal(err)
+	}
+	hpa, err := g.Translate(0x1_0000_0ABC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := memdef.HPA(7*memdef.PageSize + 0xABC); hpa != want {
+		t.Errorf("Translate = %#x, want %#x", hpa, want)
+	}
+	if g.Mappings() != 1 {
+		t.Errorf("Mappings = %d", g.Mappings())
+	}
+}
+
+// The attack's core arithmetic: mappings spaced 2 MiB apart each burn
+// one fresh leaf IOPT page (Figure 2).
+func TestTwoMiBStrideConsumesOneLeafPerMapping(t *testing.T) {
+	g, alloc := newGroup(t, 0)
+	before := alloc.allocs
+	const n = 64
+	for i := 0; i < n; i++ {
+		iova := memdef.IOVA(0x1_0000_0000 + uint64(i)*memdef.HugePageSize)
+		if err := g.Map(iova, 3*memdef.PageSize); err != nil {
+			t.Fatal(err)
+		}
+	}
+	grew := alloc.allocs - before
+	// n leaf tables plus a handful of upper-level tables.
+	if grew < n || grew > n+4 {
+		t.Errorf("allocated %d table pages for %d 2MiB-spaced mappings", grew, n)
+	}
+	if g.IOPTPages() != grew+1 { // +1 root from NewGroup
+		t.Errorf("IOPTPages = %d, want %d", g.IOPTPages(), grew+1)
+	}
+}
+
+// Densely packed mappings share leaf pages — the reason the attacker
+// must space them 2 MiB apart to maximize page consumption.
+func TestDenseMappingsShareLeafPages(t *testing.T) {
+	g, alloc := newGroup(t, 0)
+	before := alloc.allocs
+	for i := 0; i < 512; i++ {
+		iova := memdef.IOVA(0x2_0000_0000 + uint64(i)*memdef.PageSize)
+		if err := g.Map(iova, 3*memdef.PageSize); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if grew := alloc.allocs - before; grew > 4 {
+		t.Errorf("dense mappings allocated %d table pages, want <= 4", grew)
+	}
+}
+
+func TestMapLimitEnforced(t *testing.T) {
+	g, _ := newGroup(t, 3)
+	for i := 0; i < 3; i++ {
+		if err := g.Map(memdef.IOVA(i)*memdef.HugePageSize, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.Map(99*memdef.HugePageSize, 0); !errors.Is(err, ErrMapLimit) {
+		t.Errorf("over-limit map: %v", err)
+	}
+	// Unmapping frees budget.
+	if err := g.Unmap(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Map(99*memdef.HugePageSize, 0); err != nil {
+		t.Errorf("map after unmap: %v", err)
+	}
+}
+
+func TestUnmapErrors(t *testing.T) {
+	g, _ := newGroup(t, 0)
+	if err := g.Unmap(0x123000); !errors.Is(err, ErrNotMapped) {
+		t.Errorf("unmap absent: %v", err)
+	}
+}
+
+func TestBackendFailurePropagates(t *testing.T) {
+	mem := phys.New(64 * memdef.MiB)
+	alloc := &poolAlloc{next: 10}
+	g, err := NewGroup(mem, alloc, identBackend{fail: true}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Map(0, 0); err == nil {
+		t.Error("expected resolve failure")
+	}
+	if g.Mappings() != 0 {
+		t.Error("failed map counted")
+	}
+}
+
+func TestDestroyFreesTables(t *testing.T) {
+	g, alloc := newGroup(t, 0)
+	for i := 0; i < 8; i++ {
+		if err := g.Map(memdef.IOVA(i)*memdef.HugePageSize, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g.Destroy()
+	if alloc.freed != alloc.allocs {
+		t.Errorf("Destroy freed %d of %d tables", alloc.freed, alloc.allocs)
+	}
+}
+
+var _ ept.Allocator = (*poolAlloc)(nil)

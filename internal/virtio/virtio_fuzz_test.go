@@ -1,0 +1,65 @@
+package virtio
+
+import (
+	"testing"
+
+	"hyperhammer/internal/memdef"
+)
+
+// FuzzDeviceProtocol drives a virtio-mem device with an arbitrary
+// request stream and checks the accounting invariants: plugged size
+// equals the plugged sub-block count times the sub-block size, never
+// exceeds the region, and the backend saw exactly matching
+// plug/unplug effects.
+func FuzzDeviceProtocol(f *testing.F) {
+	f.Add([]byte{0x00, 0x01, 0x82, 0x01, 0x40})
+	f.Add([]byte{0xFF, 0x7F, 0x80, 0x00})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		const subBlocks = 16
+		backend := &countingBackend{}
+		dev, err := NewMemDevice(0, subBlocks*SubBlockSize, backend, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dev.SetRequestedSize(subBlocks * SubBlockSize)
+		for _, op := range ops {
+			idx := memdef.GPA(op&0x0F) * SubBlockSize
+			switch {
+			case op&0x80 == 0:
+				_ = dev.Plug(idx)
+			case op&0x40 == 0:
+				_ = dev.Unplug(idx)
+			default:
+				dev.SetRequestedSize(uint64(op&0x3F) * SubBlockSize)
+			}
+			plugged := 0
+			for i := 0; i < subBlocks; i++ {
+				if dev.IsPlugged(memdef.GPA(i) * SubBlockSize) {
+					plugged++
+				}
+			}
+			if dev.PluggedSize() != uint64(plugged)*SubBlockSize {
+				t.Fatalf("plugged size %d != %d sub-blocks", dev.PluggedSize(), plugged)
+			}
+			if dev.PluggedSize() > dev.RegionSize() {
+				t.Fatal("plugged beyond region")
+			}
+			if backend.plugs-backend.unplugs != plugged {
+				t.Fatalf("backend saw %d net plugs, device has %d",
+					backend.plugs-backend.unplugs, plugged)
+			}
+		}
+	})
+}
+
+type countingBackend struct{ plugs, unplugs int }
+
+func (b *countingBackend) PlugRange(memdef.GPA, uint64) error {
+	b.plugs++
+	return nil
+}
+
+func (b *countingBackend) UnplugRange(memdef.GPA, uint64) error {
+	b.unplugs++
+	return nil
+}

@@ -1,0 +1,235 @@
+package virtio
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"hyperhammer/internal/memdef"
+)
+
+// recordingBackend records plug/unplug calls and can inject failures.
+type recordingBackend struct {
+	plugs, unplugs []memdef.GPA
+	failPlug       bool
+}
+
+func (b *recordingBackend) PlugRange(gpa memdef.GPA, size uint64) error {
+	if b.failPlug {
+		return errors.New("injected")
+	}
+	b.plugs = append(b.plugs, gpa)
+	return nil
+}
+
+func (b *recordingBackend) UnplugRange(gpa memdef.GPA, size uint64) error {
+	b.unplugs = append(b.unplugs, gpa)
+	return nil
+}
+
+func newDev(t *testing.T, subBlocks int, guard Guard) (*MemDevice, *recordingBackend) {
+	t.Helper()
+	b := &recordingBackend{}
+	d, err := NewMemDevice(0, uint64(subBlocks)*SubBlockSize, b, guard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, b
+}
+
+func TestNewMemDeviceValidation(t *testing.T) {
+	b := &recordingBackend{}
+	if _, err := NewMemDevice(123, SubBlockSize, b, nil); err == nil {
+		t.Error("unaligned region accepted")
+	}
+	if _, err := NewMemDevice(0, SubBlockSize+1, b, nil); err == nil {
+		t.Error("odd size accepted")
+	}
+	if _, err := NewMemDevice(0, 0, b, nil); err == nil {
+		t.Error("empty region accepted")
+	}
+}
+
+func TestPlugUnplugLifecycle(t *testing.T) {
+	d, b := newDev(t, 4, nil)
+	d.SetRequestedSize(4 * SubBlockSize)
+	for i := 0; i < 4; i++ {
+		if err := d.Plug(memdef.GPA(i) * SubBlockSize); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := d.PluggedSize(); got != 4*SubBlockSize {
+		t.Errorf("PluggedSize = %d", got)
+	}
+	if err := d.Plug(0); !errors.Is(err, ErrState) {
+		t.Errorf("double plug: %v", err)
+	}
+	if err := d.Unplug(SubBlockSize); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Unplug(SubBlockSize); !errors.Is(err, ErrState) {
+		t.Errorf("double unplug: %v", err)
+	}
+	if len(b.plugs) != 4 || len(b.unplugs) != 1 {
+		t.Errorf("backend saw %d plugs, %d unplugs", len(b.plugs), len(b.unplugs))
+	}
+	if got := d.PluggedSubBlocks(); len(got) != 3 {
+		t.Errorf("PluggedSubBlocks = %v", got)
+	}
+}
+
+func TestRangeValidation(t *testing.T) {
+	d, _ := newDev(t, 2, nil)
+	if err := d.Plug(2 * SubBlockSize); !errors.Is(err, ErrBadRange) {
+		t.Errorf("out-of-region plug: %v", err)
+	}
+	if err := d.Plug(4096); !errors.Is(err, ErrBadRange) {
+		t.Errorf("misaligned plug: %v", err)
+	}
+	if d.IsPlugged(3 * SubBlockSize) {
+		t.Error("IsPlugged true outside region")
+	}
+}
+
+// The central modelled vulnerability: with no guard, the device lets a
+// guest unplug memory the hypervisor never asked it to release.
+func TestVoluntaryUnplugAllowedWithoutGuard(t *testing.T) {
+	d, _ := newDev(t, 4, nil)
+	d.SetRequestedSize(4 * SubBlockSize)
+	for i := 0; i < 4; i++ {
+		if err := d.Plug(memdef.GPA(i) * SubBlockSize); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Requested == plugged; a well-behaved guest would do nothing.
+	if err := d.Unplug(2 * SubBlockSize); err != nil {
+		t.Errorf("voluntary unplug rejected by stock device: %v", err)
+	}
+}
+
+func TestGuardNACKs(t *testing.T) {
+	guard := func(delta int64, current, requested uint64) error {
+		have := int64(requested) - int64(current)
+		if delta*have < 0 || abs64(delta) > abs64(have) {
+			return fmt.Errorf("suspicious resize")
+		}
+		return nil
+	}
+	d, b := newDev(t, 4, guard)
+	d.SetRequestedSize(4 * SubBlockSize)
+	for i := 0; i < 4; i++ {
+		if err := d.Plug(memdef.GPA(i) * SubBlockSize); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Unplug(0); !errors.Is(err, ErrNACK) {
+		t.Errorf("guarded voluntary unplug: %v", err)
+	}
+	if d.NACKs() != 1 {
+		t.Errorf("NACKs = %d", d.NACKs())
+	}
+	if len(b.unplugs) != 0 {
+		t.Error("backend saw a NACKed unplug")
+	}
+	// A legitimate, hypervisor-requested shrink passes the guard.
+	d.SetRequestedSize(3 * SubBlockSize)
+	if err := d.Unplug(3 * SubBlockSize); err != nil {
+		t.Errorf("legitimate unplug NACKed: %v", err)
+	}
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func TestBackendFailureDoesNotChangeState(t *testing.T) {
+	d, b := newDev(t, 2, nil)
+	b.failPlug = true
+	if err := d.Plug(0); err == nil {
+		t.Fatal("expected backend error")
+	}
+	if d.PluggedSize() != 0 || d.IsPlugged(0) {
+		t.Error("state changed despite backend failure")
+	}
+}
+
+func TestDriverSyncToTargetPlugsAndUnplugs(t *testing.T) {
+	d, _ := newDev(t, 8, nil)
+	g := NewGuestDriver(d)
+	var plugged, unplugged []memdef.GPA
+	g.OnPlug = func(gpa memdef.GPA, _ uint64) { plugged = append(plugged, gpa) }
+	g.OnUnplug = func(gpa memdef.GPA, _ uint64) { unplugged = append(unplugged, gpa) }
+
+	d.SetRequestedSize(6 * SubBlockSize)
+	change, err := g.SyncToTarget()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if change != 6*SubBlockSize || len(plugged) != 6 {
+		t.Errorf("grow: change=%d plugs=%d", change, len(plugged))
+	}
+	// Lowest-first plugging.
+	if plugged[0] != 0 || plugged[5] != 5*SubBlockSize {
+		t.Errorf("plug order: %v", plugged)
+	}
+
+	d.SetRequestedSize(2 * SubBlockSize)
+	change, err = g.SyncToTarget()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if change != -4*SubBlockSize || len(unplugged) != 4 {
+		t.Errorf("shrink: change=%d unplugs=%d", change, len(unplugged))
+	}
+	// Highest-first unplugging.
+	if unplugged[0] != 5*SubBlockSize {
+		t.Errorf("unplug order: %v", unplugged)
+	}
+}
+
+// The paper's second driver modification: with auto-plug suppressed, a
+// voluntary release is not undone by the reconciliation loop.
+func TestSuppressAutoPlugKeepsHole(t *testing.T) {
+	d, _ := newDev(t, 4, nil)
+	g := NewGuestDriver(d)
+	d.SetRequestedSize(4 * SubBlockSize)
+	if _, err := g.SyncToTarget(); err != nil {
+		t.Fatal(err)
+	}
+	g.SuppressAutoPlug = true
+	if err := g.UnplugSubBlock(2*SubBlockSize + 4096); err != nil {
+		t.Fatal(err)
+	}
+	if d.IsPlugged(2 * SubBlockSize) {
+		t.Fatal("UnplugSubBlock did not unplug containing sub-block")
+	}
+	if _, err := g.SyncToTarget(); err != nil {
+		t.Fatal(err)
+	}
+	if d.IsPlugged(2 * SubBlockSize) {
+		t.Error("suppressed driver re-plugged the released sub-block")
+	}
+	// Stock driver would immediately take it back.
+	g.SuppressAutoPlug = false
+	if _, err := g.SyncToTarget(); err != nil {
+		t.Fatal(err)
+	}
+	if !d.IsPlugged(2 * SubBlockSize) {
+		t.Error("stock driver failed to re-plug toward target")
+	}
+}
+
+func TestRequestedSizeClamping(t *testing.T) {
+	d, _ := newDev(t, 4, nil)
+	d.SetRequestedSize(100 * SubBlockSize)
+	if got := d.RequestedSize(); got != 4*SubBlockSize {
+		t.Errorf("RequestedSize = %d, want clamped to region", got)
+	}
+	d.SetRequestedSize(SubBlockSize + 12345)
+	if got := d.RequestedSize(); got != SubBlockSize {
+		t.Errorf("RequestedSize = %d, want sub-block aligned", got)
+	}
+}
