@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short vet bench bench-short tables demo fuzz clean
+.PHONY: all build test test-short test-race vet bench bench-short tables demo fuzz clean
 
 all: build vet test
 
@@ -17,6 +17,11 @@ test:
 
 test-short:
 	$(GO) test -short ./...
+
+# Race-detector pass; the trace and metrics packages have dedicated
+# concurrency tests.
+test-race:
+	$(GO) test -race ./...
 
 # Every table/figure experiment as benchmarks, full paper scale.
 # Table 3 runs two complete attack campaigns and dominates the time.

@@ -14,6 +14,7 @@
 package hyperhammer_test
 
 import (
+	"strings"
 	"testing"
 
 	"hyperhammer/experiments"
@@ -230,7 +231,9 @@ func BenchmarkBalloonSteering(b *testing.B) {
 		if i == 0 {
 			b.Log("\n" + res.Table().String())
 			for _, row := range res.Rows {
-				b.ReportMetric(100*row.RN(), row.Path+"-RN-%")
+				// ReportMetric units must not contain whitespace.
+				unit := strings.NewReplacer(" ", "-", "(", "", ")", "").Replace(row.Path)
+				b.ReportMetric(100*row.RN(), unit+"-RN-%")
 			}
 		}
 	}

@@ -19,6 +19,7 @@ import (
 	"strconv"
 	"strings"
 
+	"hyperhammer"
 	"hyperhammer/experiments"
 )
 
@@ -45,10 +46,46 @@ func main() {
 	short := flag.Bool("short", false, "reduced scale (seconds instead of minutes)")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	attempts := flag.Int("attempts", 0, "Table 3 attempt cap (0 = default)")
+	tracePath := flag.String("trace", "", "write JSONL trace events from every booted host to this file")
+	metricsPath := flag.String("metrics", "", "write aggregated metrics to this file at exit (Prometheus text; .json suffix selects a JSON snapshot)")
 	flag.Var(&tables, "table", "table number to reproduce (repeatable: 1, 2, 3)")
 	flag.Parse()
 
 	o := experiments.Options{Seed: *seed, Short: *short, MaxAttempts: *attempts}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hh-tables: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		o.Trace = hyperhammer.NewTrace(f, 0)
+	}
+	flushMetrics := func() {
+		if o.Metrics == nil {
+			return
+		}
+		f, err := os.Create(*metricsPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hh-tables: %v\n", err)
+			return
+		}
+		defer f.Close()
+		if strings.HasSuffix(*metricsPath, ".json") {
+			err = o.Metrics.WriteJSON(f)
+		} else {
+			err = o.Metrics.WriteProm(f)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hh-tables: %v\n", err)
+		}
+	}
+	if *metricsPath != "" {
+		o.Metrics = hyperhammer.NewMetrics()
+		// os.Exit skips defers; fail() below also flushes, so partial
+		// metrics survive an experiment error.
+		defer flushMetrics()
+	}
 	want := func(n int) bool {
 		if *all {
 			return true
@@ -63,6 +100,7 @@ func main() {
 	ran := false
 	fail := func(what string, err error) {
 		fmt.Fprintf(os.Stderr, "hh-tables: %s: %v\n", what, err)
+		flushMetrics()
 		os.Exit(1)
 	}
 

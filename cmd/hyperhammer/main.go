@@ -15,8 +15,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"hyperhammer"
+	"hyperhammer/internal/report"
 )
 
 func main() {
@@ -24,6 +26,8 @@ func main() {
 	seed := flag.Uint64("seed", 0, "simulation seed (0 = scale default)")
 	attempts := flag.Int("attempts", 0, "attempt budget (0 = scale default)")
 	tracePath := flag.String("trace", "", "write host-side JSONL trace events to this file")
+	metricsPath := flag.String("metrics", "", "write end-of-run metrics to this file (Prometheus text; .json suffix selects a JSON snapshot)")
+	metricsTable := flag.Bool("metrics-table", false, "print the metrics as a human-readable table at exit")
 	flag.Parse()
 
 	if *seed == 0 {
@@ -68,6 +72,37 @@ func main() {
 		defer f.Close()
 		hostCfg.Trace = hyperhammer.NewTrace(f, 0)
 	}
+	var reg *hyperhammer.MetricsRegistry
+	if *metricsPath != "" || *metricsTable {
+		reg = hyperhammer.NewMetrics()
+		hostCfg.Metrics = reg
+	}
+	// Called explicitly before every exit path: os.Exit skips defers.
+	exportMetrics := func() {
+		if reg == nil {
+			return
+		}
+		if *metricsTable {
+			fmt.Println()
+			fmt.Print(report.MetricsTable(reg.Snapshot()))
+		}
+		if *metricsPath == "" {
+			return
+		}
+		f, err := os.Create(*metricsPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if strings.HasSuffix(*metricsPath, ".json") {
+			err = reg.WriteJSON(f)
+		} else {
+			err = reg.WriteProm(f)
+		}
+		if err != nil {
+			fatal(err)
+		}
+	}
 
 	host, err := hyperhammer.NewHost(hostCfg)
 	if err != nil {
@@ -96,15 +131,23 @@ func main() {
 		res.ProfiledBits, res.ProfileDuration)
 	fmt.Printf("attempts: %d run, avg %v simulated each\n",
 		len(res.Attempts), res.AvgAttemptTime())
+	fmt.Printf("phase breakdown: profile %s, steer %s, exploit %s, reboot %s, setup %s\n",
+		report.FormatDuration(res.ProfileDuration),
+		report.FormatDuration(res.SteerTime),
+		report.FormatDuration(res.ExploitTime),
+		report.FormatDuration(res.RebootTime),
+		report.FormatDuration(res.SetupTime))
 	if res.Successes == 0 {
 		fmt.Printf("\nno escape within %d attempts (expected ~%.0f at the Section 5.3.1 bound); retry with more -attempts or another -seed\n",
 			budget, hyperhammer.ExpectedAttempts(uint64(vmCfg.MemSize), hostCfg.Geometry.Size))
+		exportMetrics()
 		os.Exit(1)
 	}
 	fmt.Printf("\nESCAPE at attempt %d after %v simulated attack time\n",
 		res.FirstSuccessAttempt, res.TimeToFirstSuccess)
 	fmt.Printf("the guest read the host-kernel secret %#x through a stolen EPT page:\n", uint64(secretValue))
 	fmt.Println("KVM-enforced isolation broken.")
+	exportMetrics()
 }
 
 func shortGeometry() *hyperhammer.Geometry {

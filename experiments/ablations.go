@@ -243,6 +243,8 @@ func AblationTHP(o Options) (*THPAblationResult, error) {
 			NXHugepages:    true,
 			BootNoisePages: 500,
 			Seed:           o.Seed,
+			Trace:          o.Trace,
+			Metrics:        o.Metrics,
 		}
 		h, err := kvm.NewHost(cfg)
 		if err != nil {

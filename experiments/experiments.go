@@ -17,6 +17,8 @@ import (
 	"hyperhammer/internal/dram"
 	"hyperhammer/internal/kvm"
 	"hyperhammer/internal/memdef"
+	"hyperhammer/internal/metrics"
+	"hyperhammer/internal/trace"
 )
 
 // Options control experiment scale and determinism.
@@ -29,6 +31,14 @@ type Options struct {
 	Short bool
 	// MaxAttempts caps the Table 3 campaigns (0 = scale default).
 	MaxAttempts int
+	// Trace, when non-nil, receives host- and tool-side events from
+	// every host the experiments boot. Hosts share one recorder, so
+	// events from different experiments interleave in emission order.
+	Trace *trace.Recorder
+	// Metrics, when non-nil, aggregates instrumentation across every
+	// booted host into one registry. Per-host clocks rebind on each
+	// boot, so sim_seconds reflects the most recent host.
+	Metrics *metrics.Registry
 }
 
 // DefaultOptions returns the full-scale deterministic defaults.
@@ -173,6 +183,8 @@ func (o Options) newHost(sys System) (*kvm.Host, error) {
 		NXHugepages:    true,
 		BootNoisePages: sc.hostNoise(sys),
 		Seed:           o.Seed ^ uint64(sys)<<32,
+		Trace:          o.Trace,
+		Metrics:        o.Metrics,
 	}
 	h, err := kvm.NewHost(cfg)
 	if err != nil {

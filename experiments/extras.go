@@ -58,6 +58,7 @@ func DRAMDig(o Options) (*DRAMDigResult, error) {
 		timing := dram.NewTiming(geo, o.Seed^0xD1)
 		cfg := dramdig.DefaultConfig(geo.Size)
 		cfg.Seed = o.Seed ^ 0xD2
+		cfg.Trace = o.Trace
 		rec, err := dramdig.Recover(timing, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("dramdig %s: %w", sys, err)
@@ -120,6 +121,8 @@ func Mitigation(o Options) (*MitigationResult, error) {
 			BootNoisePages: 1000,
 			Seed:           o.Seed,
 			Quarantine:     guard,
+			Trace:          o.Trace,
+			Metrics:        o.Metrics,
 		}
 		h, err := kvm.NewHost(cfg)
 		if err != nil {
@@ -158,7 +161,7 @@ func Mitigation(o Options) (*MitigationResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	guard, _ := mitigation.Quarantine()
+	guard, _ := mitigation.Traced(o.Trace)
 	var legit bool
 	res.QuarantinedReleased, res.NACKs, legit, err = releaseAttempts(guard)
 	if err != nil {
@@ -274,5 +277,7 @@ func (o Options) newHostAt(sc scale, sys System) (*kvm.Host, error) {
 		NXHugepages:    true,
 		BootNoisePages: sc.hostNoise(sys),
 		Seed:           o.Seed ^ uint64(sys)<<32,
+		Trace:          o.Trace,
+		Metrics:        o.Metrics,
 	})
 }

@@ -75,6 +75,8 @@ func TRR(o Options) (*TRRResult, error) {
 			NXHugepages:    true,
 			BootNoisePages: 500,
 			Seed:           o.Seed,
+			Trace:          o.Trace,
+			Metrics:        o.Metrics,
 		})
 		if err != nil {
 			return nil, err
@@ -156,6 +158,8 @@ func ECC(o Options) (*ECCResult, error) {
 			BootNoisePages: 500,
 			ECC:            ecc,
 			Seed:           o.Seed,
+			Trace:          o.Trace,
+			Metrics:        o.Metrics,
 		})
 		if err != nil {
 			return nil, err
@@ -224,6 +228,8 @@ func Multihit(o Options) (*MultihitResult, error) {
 			MultihitBugPresent: true,
 			BootNoisePages:     500,
 			Seed:               o.Seed,
+			Trace:              o.Trace,
+			Metrics:            o.Metrics,
 		})
 		if err != nil {
 			return nil, err

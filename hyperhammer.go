@@ -44,6 +44,7 @@ import (
 	"hyperhammer/internal/hostload"
 	"hyperhammer/internal/kvm"
 	"hyperhammer/internal/memdef"
+	"hyperhammer/internal/metrics"
 	"io"
 
 	"hyperhammer/internal/mitigation"
@@ -134,6 +135,20 @@ func NewGeometry(g Geometry) (*Geometry, error) { return dram.NewGeometry(g) }
 // TraceRecorder receives structured host-side events; install one via
 // HostConfig.Trace.
 type TraceRecorder = trace.Recorder
+
+// MetricsRegistry collects counters, gauges and histograms from every
+// instrumented subsystem. Install one via HostConfig.Metrics; the host
+// binds its simulated clock at boot, so exported rates are per
+// simulated second. A nil registry disables all instrumentation at
+// zero cost.
+type MetricsRegistry = metrics.Registry
+
+// MetricsSnapshot is a deterministic point-in-time export of every
+// metric series.
+type MetricsSnapshot = metrics.Snapshot
+
+// NewMetrics creates an empty metrics registry.
+func NewMetrics() *MetricsRegistry { return metrics.New() }
 
 // NewTrace creates a trace recorder writing JSON lines to w (nil for
 // in-memory only); keep bounds the in-memory ring. Install it via

@@ -46,6 +46,11 @@ type AttemptStats struct {
 	Confirmed  int
 	Success    bool
 	Duration   time.Duration
+	// SteerDuration and ExploitDuration break the attempt down by
+	// phase; the remainder is VM boot, relocation hypercalls, and the
+	// post-attempt reboot.
+	SteerDuration   time.Duration
+	ExploitDuration time.Duration
 }
 
 // CampaignResult summarizes a campaign (the Table 3 measurement).
@@ -64,6 +69,15 @@ type CampaignResult struct {
 	// ProfiledBits is the number of stable exploitable bits the
 	// profile found.
 	ProfiledBits int
+
+	// Phase accounting (simulated time) across the whole campaign:
+	// where attack time goes besides the one-time profile. SetupTime
+	// covers VM boot, allocation, and relocation hypercalls;
+	// RebootTime is the fixed per-respawn cost.
+	SteerTime   time.Duration
+	ExploitTime time.Duration
+	RebootTime  time.Duration
+	SetupTime   time.Duration
 }
 
 // AvgAttemptTime returns the mean simulated duration of one attempt.
@@ -95,7 +109,19 @@ func RunCampaign(h *kvm.Host, ccfg CampaignConfig) (*CampaignResult, error) {
 	if ccfg.MaxAttempts <= 0 {
 		return nil, fmt.Errorf("attack: campaign needs MaxAttempts > 0")
 	}
+	// The campaign observes through whatever the host is wired to,
+	// unless the attack config overrides it.
+	if ccfg.Attack.Trace == nil {
+		ccfg.Attack.Trace = h.Config().Trace
+	}
+	if ccfg.Attack.Metrics == nil {
+		ccfg.Attack.Metrics = h.Config().Metrics
+	}
 	res := &CampaignResult{}
+	span := ccfg.Attack.Trace.StartSpan("attack.campaign", "maxAttempts", ccfg.MaxAttempts)
+	defer func() {
+		span.End("attempts", len(res.Attempts), "successes", res.Successes)
+	}()
 
 	// One-time profile, pinned to physical addresses via hypercall.
 	vm, err := h.CreateVM(ccfg.VM)
@@ -126,6 +152,8 @@ func RunCampaign(h *kvm.Host, ccfg CampaignConfig) (*CampaignResult, error) {
 	res.ProfiledBits = len(bits)
 	vm.Destroy()
 	h.Clock.Advance(simtime.VMReboot)
+	res.RebootTime += simtime.VMReboot
+	ccfg.Attack.observePhase("reboot", simtime.VMReboot)
 	if len(bits) == 0 {
 		return res, fmt.Errorf("attack: profile found no exploitable bits")
 	}
@@ -141,6 +169,18 @@ func RunCampaign(h *kvm.Host, ccfg CampaignConfig) (*CampaignResult, error) {
 		}
 		res.Attempts = append(res.Attempts, stats)
 		res.TotalDuration = attackClock.Elapsed()
+		res.SteerTime += stats.SteerDuration
+		res.ExploitTime += stats.ExploitDuration
+		res.RebootTime += simtime.VMReboot
+		if setup := stats.Duration - stats.SteerDuration - stats.ExploitDuration - simtime.VMReboot; setup > 0 {
+			res.SetupTime += setup
+		}
+		if m := ccfg.Attack.Metrics; m != nil {
+			m.Counter("attack_attempts_total", "Steer-and-exploit attempts run.").Inc()
+			if stats.Success {
+				m.Counter("attack_successes_total", "Attempts that escaped (verified when a secret check is configured).").Inc()
+			}
+		}
 		if stats.Success {
 			res.Successes++
 			if res.FirstSuccessAttempt == 0 {
@@ -158,6 +198,8 @@ func RunCampaign(h *kvm.Host, ccfg CampaignConfig) (*CampaignResult, error) {
 // runAttempt performs one steer-and-exploit attempt on a fresh VM.
 func runAttempt(h *kvm.Host, ccfg CampaignConfig, bits []physicalBit, index int) (stats AttemptStats, err error) {
 	stats = AttemptStats{Index: index}
+	span := ccfg.Attack.Trace.StartSpan("attack.attempt", "index", index)
+	defer func() { span.End("success", stats.Success) }()
 	sw := simtime.NewStopwatch(h.Clock)
 	defer func() { stats.Duration = sw.Elapsed() }()
 
@@ -168,6 +210,7 @@ func runAttempt(h *kvm.Host, ccfg CampaignConfig, bits []physicalBit, index int)
 	defer func() {
 		vm.Destroy()
 		h.Clock.Advance(simtime.VMReboot)
+		ccfg.Attack.observePhase("reboot", simtime.VMReboot)
 	}()
 	gos := guest.Boot(vm)
 
@@ -230,11 +273,13 @@ func runAttempt(h *kvm.Host, ccfg CampaignConfig, bits []physicalBit, index int)
 	}
 	stats.Released = len(steer.Released)
 	stats.Splits = steer.Splits
+	stats.SteerDuration = steer.Duration
 
 	expl, err := Exploit(gos, acfg, buf, steer)
 	if err != nil {
 		return stats, err
 	}
+	stats.ExploitDuration = expl.Duration
 	stats.Changes = expl.MappingChanges
 	stats.Candidates = expl.CandidateEPTPages
 	stats.Confirmed = expl.ConfirmedEPTPages

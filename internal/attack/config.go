@@ -22,8 +22,11 @@ package attack
 import (
 	"fmt"
 	"math/bits"
+	"time"
 
 	"hyperhammer/internal/memdef"
+	"hyperhammer/internal/metrics"
+	"hyperhammer/internal/trace"
 )
 
 // Config holds the attacker's parameters and platform knowledge.
@@ -78,6 +81,29 @@ type Config struct {
 	// tests inject the exact memory state a successful flip produces
 	// at the moment a real flip would land.
 	postMarkHook func()
+
+	// Trace, when non-nil, receives span.* phase events for the attack
+	// steps. RunCampaign defaults it to the host's recorder.
+	Trace *trace.Recorder
+	// Metrics, when non-nil, receives attack counters and the
+	// attack_phase_seconds phase-timing histogram. RunCampaign defaults
+	// it to the host's registry.
+	Metrics *metrics.Registry
+}
+
+// PhaseBuckets is the attack_phase_seconds histogram layout: the
+// paper's phases span minutes (steering) to days (profiling).
+var PhaseBuckets = []float64{
+	60, 300, 900, 1800, 3600, 2 * 3600, 6 * 3600, 12 * 3600,
+	24 * 3600, 2 * 24 * 3600, 4 * 24 * 3600, 7 * 24 * 3600,
+}
+
+// observePhase records one phase duration (simulated) in the
+// attack_phase_seconds histogram.
+func (c Config) observePhase(phase string, d time.Duration) {
+	c.Metrics.Histogram("attack_phase_seconds",
+		"Simulated wall time spent per attack phase.",
+		PhaseBuckets, "phase", phase).ObserveDuration(d)
 }
 
 // DefaultConfig returns the evaluation parameters of Section 5 for a

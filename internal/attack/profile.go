@@ -78,6 +78,22 @@ type ProfileResult struct {
 // hammering is forced by virtio-mem's 2 MiB release granularity
 // (Section 4.1).
 func Profile(os *guest.OS, cfg Config) (*ProfileResult, error) {
+	span := cfg.Trace.StartSpan("attack.profile")
+	res, err := profile(os, cfg)
+	if err != nil {
+		span.End("err", err)
+		return nil, err
+	}
+	span.End("bits", res.Total, "usable", res.AttackUsable, "hammerOps", res.HammerOps)
+	cfg.observePhase("profile", res.Duration)
+	if m := cfg.Metrics; m != nil {
+		m.Counter("attack_profiled_bits_total", "Distinct vulnerable bits found by profiling.").Add(uint64(res.Total))
+		m.Counter("attack_usable_bits_total", "Stable, in-range bits usable by the attack.").Add(uint64(res.AttackUsable))
+	}
+	return res, nil
+}
+
+func profile(os *guest.OS, cfg Config) (*ProfileResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}

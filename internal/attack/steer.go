@@ -61,6 +61,22 @@ type ReleasedVictim struct {
 //
 // victims must come from a prior Profile on the same guest.
 func PageSteer(os *guest.OS, cfg Config, buf Buffer, victims []VulnBit) (*SteerResult, error) {
+	span := cfg.Trace.StartSpan("attack.steer", "victims", len(victims))
+	res, err := pageSteer(os, cfg, buf, victims)
+	if err != nil {
+		span.End("err", err)
+		return nil, err
+	}
+	span.End("iovaMappings", res.IOVAMappings, "released", len(res.Released), "splits", res.Splits)
+	cfg.observePhase("steer", res.Duration)
+	if m := cfg.Metrics; m != nil {
+		m.Counter("attack_released_blocks_total", "Victim hugepage blocks voluntarily released to the host.").Add(uint64(len(res.Released)))
+		m.Counter("attack_spray_splits_total", "Hugepage splits forced by the EPT spray.").Add(uint64(res.Splits))
+	}
+	return res, nil
+}
+
+func pageSteer(os *guest.OS, cfg Config, buf Buffer, victims []VulnBit) (*SteerResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}

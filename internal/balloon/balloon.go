@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"hyperhammer/internal/memdef"
+	"hyperhammer/internal/metrics"
 )
 
 // Errors returned by device operations.
@@ -46,6 +47,27 @@ type Device struct {
 
 	// target is the hypervisor's requested balloon size in pages.
 	target int
+
+	met deviceMetrics
+}
+
+// deviceMetrics caches the device's instrument handles; nil handles
+// no-op.
+type deviceMetrics struct {
+	inflates *metrics.Counter
+	deflates *metrics.Counter
+	size     *metrics.Gauge
+}
+
+// SetMetrics attaches instrumentation. Devices share the balloon_*
+// families, mirroring the virtio-mem device's series.
+func (d *Device) SetMetrics(reg *metrics.Registry) {
+	d.met = deviceMetrics{
+		inflates: reg.Counter("balloon_inflates_total", "Pages moved into virtio-balloon devices."),
+		deflates: reg.Counter("balloon_deflates_total", "Pages taken back out of virtio-balloon devices."),
+		size:     reg.Gauge("balloon_pages", "Pages currently held across all balloon devices."),
+	}
+	d.met.size.Add(int64(len(d.inBalloon)))
 }
 
 // NewDevice creates a balloon for a guest of the given size.
@@ -85,6 +107,8 @@ func (d *Device) Inflate(gpa memdef.GPA) error {
 		return err
 	}
 	d.inBalloon[gpa] = true
+	d.met.inflates.Inc()
+	d.met.size.Add(1)
 	return nil
 }
 
@@ -98,6 +122,8 @@ func (d *Device) Deflate(gpa memdef.GPA) error {
 		return err
 	}
 	delete(d.inBalloon, gpa)
+	d.met.deflates.Inc()
+	d.met.size.Add(-1)
 	return nil
 }
 

@@ -15,8 +15,10 @@ package buddy
 import (
 	"errors"
 	"fmt"
+	"strconv"
 
 	"hyperhammer/internal/memdef"
+	"hyperhammer/internal/metrics"
 )
 
 // ErrOutOfMemory is returned when no free block of any usable order or
@@ -63,6 +65,38 @@ type Allocator struct {
 	pcp [memdef.NumMigrateTypes][]memdef.PFN
 
 	freePages uint64
+
+	met allocMetrics
+}
+
+// allocMetrics caches the allocator's instrument handles; all nil
+// (no-op) until SetMetrics.
+type allocMetrics struct {
+	allocs    [memdef.MaxOrder]*metrics.Counter
+	frees     [memdef.MaxOrder]*metrics.Counter
+	splits    *metrics.Counter
+	merges    *metrics.Counter
+	steals    *metrics.Counter
+	freeGauge *metrics.Gauge
+	pcpGauge  *metrics.Gauge
+}
+
+// SetMetrics registers the allocator's instruments with reg. A nil
+// registry leaves the allocator uninstrumented at zero cost.
+func (a *Allocator) SetMetrics(reg *metrics.Registry) {
+	m := allocMetrics{
+		splits:    reg.Counter("buddy_splits_total", "Buddy block halvings performed to satisfy allocations."),
+		merges:    reg.Counter("buddy_merges_total", "Buddy coalescing merges performed on free."),
+		steals:    reg.Counter("buddy_fallback_steals_total", "Allocations served by stealing a block from the other migration type."),
+		freeGauge: reg.Gauge("buddy_free_pages", "Free pages across all orders, including PCP-cached singles."),
+		pcpGauge:  reg.Gauge("buddy_pcp_pages", "Order-0 pages cached in the per-CPU pagesets."),
+	}
+	for o := 0; o < memdef.MaxOrder; o++ {
+		m.allocs[o] = reg.Counter("buddy_allocs_total", "Block allocations from the buddy lists, by order.", "order", strconv.Itoa(o))
+		m.frees[o] = reg.Counter("buddy_frees_total", "Block frees to the buddy lists, by order.", "order", strconv.Itoa(o))
+	}
+	a.met = m
+	a.met.freeGauge.Set(int64(a.FreePages()))
 }
 
 // New creates an allocator over pages frames starting at start, with
@@ -176,6 +210,7 @@ func (a *Allocator) Alloc(order int, mt memdef.MigrateType) (memdef.PFN, error) 
 		if p, ok := a.popFree(mt, o); ok {
 			a.splitTo(p, o, order, mt)
 			a.freePages -= uint64(1) << order
+			a.allocHit(order)
 			return p, nil
 		}
 	}
@@ -189,6 +224,7 @@ func (a *Allocator) Alloc(order int, mt memdef.MigrateType) (memdef.PFN, error) 
 			if p, ok := a.popFree(mt, o); ok {
 				a.splitTo(p, o, order, mt)
 				a.freePages -= uint64(1) << order
+				a.allocHit(order)
 				return p, nil
 			}
 		}
@@ -204,10 +240,18 @@ func (a *Allocator) Alloc(order int, mt memdef.MigrateType) (memdef.PFN, error) 
 		if p, ok := a.popFree(other, o); ok {
 			a.splitTo(p, o, order, mt) // remainder is re-typed to mt
 			a.freePages -= uint64(1) << order
+			a.met.steals.Inc()
+			a.allocHit(order)
 			return p, nil
 		}
 	}
 	return 0, ErrOutOfMemory
+}
+
+// allocHit records a successful allocation of one 2^order block.
+func (a *Allocator) allocHit(order int) {
+	a.met.allocs[order].Inc()
+	a.met.freeGauge.Set(int64(a.FreePages()))
 }
 
 // splitTo splits block p down from order `from` to order `to`, putting
@@ -216,6 +260,7 @@ func (a *Allocator) splitTo(p memdef.PFN, from, to int, mt memdef.MigrateType) {
 	for o := from; o > to; o-- {
 		half := o - 1
 		a.pushFree(p+memdef.PFN(uint64(1)<<half), half, mt)
+		a.met.splits.Inc()
 	}
 }
 
@@ -229,6 +274,7 @@ func (a *Allocator) Free(p memdef.PFN, order int, mt memdef.MigrateType) {
 	if !a.contains(p) || uint64(p)&((uint64(1)<<order)-1) != 0 {
 		panic(fmt.Sprintf("buddy: bad free of block %d order %d", p, order))
 	}
+	a.met.frees[order].Inc()
 	a.freePages += uint64(1) << order
 	for order < memdef.MaxOrder-1 {
 		buddyPFN := p ^ memdef.PFN(uint64(1)<<order)
@@ -241,8 +287,10 @@ func (a *Allocator) Free(p memdef.PFN, order int, mt memdef.MigrateType) {
 			p = buddyPFN
 		}
 		order++
+		a.met.merges.Inc()
 	}
 	a.pushFree(p, order, mt)
+	a.met.freeGauge.Set(int64(a.FreePages()))
 }
 
 // AllocPage allocates one order-0 page of type mt through the PCP
@@ -265,7 +313,13 @@ func (a *Allocator) AllocPage(mt memdef.MigrateType) (memdef.PFN, error) {
 	}
 	p := (*cache)[len(*cache)-1]
 	*cache = (*cache)[:len(*cache)-1]
+	a.syncPCPGauge()
 	return p, nil
+}
+
+// syncPCPGauge mirrors the PCP cache depth into the gauge.
+func (a *Allocator) syncPCPGauge() {
+	a.met.pcpGauge.Set(int64(len(a.pcp[0]) + len(a.pcp[1])))
 }
 
 // FreePage frees one order-0 page of type mt through the PCP cache,
@@ -280,6 +334,7 @@ func (a *Allocator) FreePage(p memdef.PFN, mt memdef.MigrateType) {
 			a.Free(q, 0, mt)
 		}
 	}
+	a.syncPCPGauge()
 }
 
 // DrainPCP flushes all PCP-cached pages back to the buddy lists.
@@ -290,6 +345,7 @@ func (a *Allocator) DrainPCP() {
 		}
 		a.pcp[mt] = nil
 	}
+	a.syncPCPGauge()
 }
 
 // PCPCount returns how many order-0 pages of mt sit in the PCP cache.

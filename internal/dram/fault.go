@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"hyperhammer/internal/memdef"
+	"hyperhammer/internal/metrics"
 )
 
 // FlipDirection is the fixed direction of a vulnerable cell. DRAM
@@ -128,6 +129,30 @@ type Module struct {
 	// draws fresh flaky-cell outcomes instead of replaying the last
 	// ones, while the sequence as a whole stays deterministic.
 	ops uint64
+
+	met moduleMetrics
+}
+
+// moduleMetrics caches the module's instrument handles. All handles
+// are nil (no-op) until SetMetrics.
+type moduleMetrics struct {
+	hammerOps      *metrics.Counter
+	activations    *metrics.Counter
+	trrNeutralized *metrics.Counter
+	windowClips    *metrics.Counter
+	candFlips      *metrics.Counter
+}
+
+// SetMetrics registers the module's instruments with reg. A nil
+// registry leaves the module uninstrumented at zero cost.
+func (m *Module) SetMetrics(reg *metrics.Registry) {
+	m.met = moduleMetrics{
+		hammerOps:      reg.Counter("dram_hammer_ops_total", "Hammer operations evaluated by the fault model."),
+		activations:    reg.Counter("dram_activations_total", "DRAM row activations driven by hammer operations."),
+		trrNeutralized: reg.Counter("dram_trr_neutralized_total", "Aggressor rows neutralized by the TRR tracker."),
+		windowClips:    reg.Counter("dram_refresh_window_clips_total", "Hammer ops whose rounds were clipped to the refresh-window activation budget."),
+		candFlips:      reg.Counter("dram_candidate_flips_total", "Candidate bit flips emitted by the fault model (before direction filtering)."),
+	}
 }
 
 type rowKey struct {
@@ -263,6 +288,8 @@ func (m *Module) Hammer(op HammerOp) []CandidateFlip {
 	if op.Rounds <= 0 || len(op.Aggressors) == 0 {
 		return nil
 	}
+	m.met.hammerOps.Inc()
+	m.met.activations.Add(uint64(op.Activations()))
 	// Deduplicate aggressor rows: repeated accesses to an already-open
 	// row are row-buffer hits and cause no extra activations, so a
 	// "pattern" naming the same row twice hammers no harder than one
@@ -299,7 +326,9 @@ func (m *Module) Hammer(op HammerOp) []CandidateFlip {
 	// (Section 6 mitigation discussion); only untracked ones disturb
 	// their neighbours.
 	m.ops++
+	tracked := len(active)
 	active = m.cfg.TRR.trrFilter(active, m.ops)
+	m.met.trrNeutralized.Add(uint64(tracked - len(active)))
 	if len(active) == 0 {
 		return nil
 	}
@@ -309,6 +338,7 @@ func (m *Module) Hammer(op HammerOp) []CandidateFlip {
 	rounds := op.Rounds
 	if cap := m.windowActivations(); rounds > cap {
 		rounds = cap
+		m.met.windowClips.Inc()
 	}
 
 	// Accumulate disturbance per victim row.
@@ -374,6 +404,7 @@ func (m *Module) Hammer(op HammerOp) []CandidateFlip {
 			})
 		}
 	}
+	m.met.candFlips.Add(uint64(len(flips)))
 	return flips
 }
 

@@ -19,6 +19,7 @@ import (
 
 	"hyperhammer/internal/dram"
 	"hyperhammer/internal/memdef"
+	"hyperhammer/internal/trace"
 )
 
 // Prober measures access-pair latency, the only primitive DRAMDig
@@ -46,6 +47,10 @@ type Config struct {
 	RowToggleBit uint
 	// MemSize is the probed physical range.
 	MemSize uint64
+	// Trace, when non-nil, receives a "dramdig.recover" span covering
+	// the run plus events for threshold calibration, reference-pair
+	// discovery, and the recovered masks.
+	Trace *trace.Recorder
 }
 
 // DefaultConfig returns settings adequate for the modelled machines.
@@ -113,6 +118,7 @@ func Recover(p Prober, cfg Config) (Result, error) {
 	}
 	rng := rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0xBF58476D1CE4E5B9))
 	res := Result{}
+	span := cfg.Trace.StartSpan("dramdig.recover", "memSize", cfg.MemSize, "seed", cfg.Seed)
 
 	measure := func(a, b memdef.HPA) time.Duration {
 		var sum time.Duration
@@ -144,9 +150,12 @@ func Recover(p Prober, cfg Config) (Result, error) {
 		}
 	}
 	if gap < 40*time.Nanosecond {
-		return Result{}, fmt.Errorf("dramdig: no bimodal timing separation (largest gap %v)", gap)
+		err := fmt.Errorf("dramdig: no bimodal timing separation (largest gap %v)", gap)
+		span.End("err", err)
+		return Result{}, err
 	}
 	threshold := samples[gapAt-1] + gap/2
+	cfg.Trace.Emit("dramdig.threshold", "threshold", threshold, "gap", gap)
 	conflicts := func(a, b memdef.HPA) bool { return measure(a, b) > threshold }
 
 	// Step 2: same-bank references.
@@ -158,8 +167,11 @@ func Recover(p Prober, cfg Config) (Result, error) {
 		}
 	}
 	if len(refs) == 0 {
-		return Result{}, fmt.Errorf("dramdig: found no same-bank reference pairs")
+		err := fmt.Errorf("dramdig: found no same-bank reference pairs")
+		span.End("err", err)
+		return Result{}, err
 	}
+	cfg.Trace.Emit("dramdig.references", "count", len(refs))
 
 	// Step 3: exhaustively classify every candidate mask.
 	nBits := int(cfg.MaxBit - cfg.MinBit)
@@ -188,6 +200,10 @@ func Recover(p Prober, cfg Config) (Result, error) {
 	sort.Slice(masks, func(i, j int) bool { return masks[i] > masks[j] })
 	res.Masks = masks
 	res.Banks = 1 << len(masks)
+	for _, m := range masks {
+		cfg.Trace.Emit("dramdig.mask", "mask", fmt.Sprintf("%#x", m))
+	}
+	span.End("masks", len(masks), "banks", res.Banks, "probes", res.ProbeCount)
 	return res, nil
 }
 

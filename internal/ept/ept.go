@@ -16,6 +16,7 @@ import (
 	"sort"
 
 	"hyperhammer/internal/memdef"
+	"hyperhammer/internal/metrics"
 )
 
 // Perm is the permission triple of an EPT entry (bits 0-2).
@@ -145,6 +146,32 @@ type Table struct {
 	// in memory. Used for instrumentation such as Table 2's EPT-page
 	// dump and for teardown.
 	tables map[memdef.PFN]int
+
+	met tableMetrics
+}
+
+// tableMetrics caches the structure's instrument handles; all nil
+// (no-op) until SetMetrics. Series are shared by name across every
+// Table wired to the same registry, so per-VM EPTs and per-group IOPTs
+// aggregate into one family.
+type tableMetrics struct {
+	translations *metrics.Counter
+	violations   *metrics.Counter
+	splits       *metrics.Counter
+	tablePages   *metrics.Gauge
+}
+
+// SetMetrics registers the structure's instruments with reg and
+// credits its already-allocated table pages to the shared gauge. A nil
+// registry leaves the structure uninstrumented at zero cost.
+func (t *Table) SetMetrics(reg *metrics.Registry) {
+	t.met = tableMetrics{
+		translations: reg.Counter("ept_translations_total", "Page-table walks attempted (EPT and IOPT)."),
+		violations:   reg.Counter("ept_violations_total", "Walks that faulted: not-mapped (EPT violation) or misconfigured entries."),
+		splits:       reg.Counter("ept_splits_total", "2 MiB leaves demoted to 4 KiB leaf tables."),
+		tablePages:   reg.Gauge("ept_table_pages", "Live hypervisor-allocated table pages across all structures."),
+	}
+	t.met.tablePages.Add(int64(len(t.tables)))
 }
 
 // New allocates an empty 4-level table structure, the mode the paper
@@ -219,6 +246,7 @@ func (t *Table) walkTo(va uint64, toLevel int, create bool) (memdef.PFN, error) 
 			}
 			t.mem.ZeroPage(next)
 			t.tables[next] = level - 1
+			t.met.tablePages.Add(1)
 			t.writeEntry(tp, va, level, NewEntry(next, PermRWX, false))
 			tp = next
 			continue
@@ -285,10 +313,12 @@ type Translation struct {
 // words currently say, so corrupted entries translate "successfully"
 // to wherever they now point, exactly like hardware.
 func (t *Table) Translate(va uint64) (Translation, error) {
+	t.met.translations.Inc()
 	tp := t.root
 	for level := t.rootLevel; level >= leafLevel; level-- {
 		e := t.readEntry(tp, va, level)
 		if !e.Present() {
+			t.met.violations.Inc()
 			return Translation{}, ErrNotMapped
 		}
 		isLeaf := level == leafLevel || (level == 2 && e.Large())
@@ -300,6 +330,7 @@ func (t *Table) Translate(va uint64) (Translation, error) {
 			base := uint64(e.PFN()) << memdef.PageShift
 			hpa := memdef.HPA(base&^(pageSize-1) | va&(pageSize-1))
 			if !t.frameValid(memdef.PFNOf(hpa)) {
+				t.met.violations.Inc()
 				return Translation{}, ErrMisconfigured
 			}
 			return Translation{
@@ -311,10 +342,12 @@ func (t *Table) Translate(va uint64) (Translation, error) {
 			}, nil
 		}
 		if e.Large() {
+			t.met.violations.Inc()
 			return Translation{}, ErrMisconfigured
 		}
 		next := e.PFN()
 		if !t.frameValid(next) {
+			t.met.violations.Inc()
 			return Translation{}, ErrMisconfigured
 		}
 		tp = next
@@ -356,6 +389,8 @@ func (t *Table) SplitHuge(va uint64, perm Perm) (memdef.PFN, error) {
 	}
 	t.mem.ZeroPage(leaf)
 	t.tables[leaf] = leafLevel
+	t.met.splits.Inc()
+	t.met.tablePages.Add(1)
 	base := e.PFN()
 	for i := 0; i < memdef.PagesPerHuge; i++ {
 		t.mem.SetPageWord(leaf, i, uint64(NewEntry(base+memdef.PFN(i), perm, false)))
@@ -411,5 +446,6 @@ func (t *Table) Destroy() {
 	for _, p := range pages {
 		t.alloc.FreeTable(p)
 	}
+	t.met.tablePages.Add(-int64(len(pages)))
 	t.tables = nil
 }

@@ -14,6 +14,8 @@ import (
 
 	"hyperhammer/internal/guest"
 	"hyperhammer/internal/memdef"
+	"hyperhammer/internal/metrics"
+	"hyperhammer/internal/trace"
 )
 
 // Pattern describes one candidate hammer pattern.
@@ -53,6 +55,10 @@ type Config struct {
 	// Repeats is how many times a flip must reproduce for a pattern
 	// to count as reliable.
 	Repeats int
+	// Trace, when non-nil, receives one span per evaluated pattern.
+	Trace *trace.Recorder
+	// Metrics, when non-nil, receives per-pattern flip counters.
+	Metrics *metrics.Registry
 }
 
 // Result reports one pattern's effectiveness.
@@ -97,7 +103,9 @@ func Search(os *guest.OS, cfg Config, patterns []Pattern) ([]Result, error) {
 
 	var out []Result
 	for _, pat := range patterns {
+		span := cfg.Trace.StartSpan("hammer.pattern", "pattern", pat.Name, "rounds", pat.Rounds)
 		if err := fill(); err != nil {
+			span.End("err", err)
 			return nil, err
 		}
 		os.ScanForFlips() // drain stale observations
@@ -108,6 +116,7 @@ func Search(os *guest.OS, cfg Config, patterns []Pattern) ([]Result, error) {
 		for hp := 0; hp < n; hp++ {
 			hugeBase := base + memdef.GVA(hp)*memdef.HugePageSize
 			if err := hammerOnce(os, hugeBase, aggr, pat.Rounds); err != nil {
+				span.End("err", err)
 				return nil, err
 			}
 		}
@@ -124,6 +133,7 @@ func Search(os *guest.OS, cfg Config, patterns []Pattern) ([]Result, error) {
 				}
 				hugeBase := memdef.HugeBase(f.GVA) // approximate re-aim
 				if err := hammerOnce(os, hugeBase, aggr, pat.Rounds); err != nil {
+					span.End("err", err)
 					return nil, err
 				}
 				w, err := os.Read64(f.GVA &^ 7)
@@ -139,6 +149,12 @@ func Search(os *guest.OS, cfg Config, patterns []Pattern) ([]Result, error) {
 			if ok {
 				res.Reproducible++
 			}
+		}
+		span.End("flips", res.Flips, "reproducible", res.Reproducible)
+		if m := cfg.Metrics; m != nil {
+			m.Counter("hammer_patterns_total", "Candidate hammer patterns evaluated by the search.").Inc()
+			m.Counter("hammer_pattern_flips_total", "Distinct bits flipped during pattern sweeps.").Add(uint64(res.Flips))
+			m.Counter("hammer_pattern_reproducible_total", "Sweep flips that reproduced on every repeat.").Add(uint64(res.Reproducible))
 		}
 		out = append(out, res)
 	}

@@ -21,6 +21,7 @@ const reclaimedFrame = memdef.PFN(^uint64(0) >> 1)
 func (vm *VM) AttachBalloon() *balloon.Device {
 	if vm.balloon == nil {
 		vm.balloon = balloon.NewDevice(vm.cfg.MemSize, (*vmBalloonBackend)(vm))
+		vm.balloon.SetMetrics(vm.host.cfg.Metrics)
 	}
 	return vm.balloon
 }
@@ -82,6 +83,7 @@ func (b *vmBalloonBackend) ReclaimPage(gpa memdef.GPA) error {
 	cb.frames[idx] = reclaimedFrame
 	h.Buddy.FreePage(frame, vm.backingMT())
 	h.Clock.Advance(simtime.VirtioUnplug)
+	h.met.balloonReclaim.Inc()
 	vm.flushChunk(chunk)
 	return nil
 }
@@ -114,6 +116,7 @@ func (b *vmBalloonBackend) ProvidePage(gpa memdef.GPA) error {
 	}
 	cb.frames[idx] = p
 	vm.reverse[p] = memdef.GPA(pageVA)
+	h.met.balloonProvide.Inc()
 	vm.flushChunk(chunk)
 	return nil
 }

@@ -18,6 +18,7 @@ import (
 	"hyperhammer/internal/buddy"
 	"hyperhammer/internal/dram"
 	"hyperhammer/internal/memdef"
+	"hyperhammer/internal/metrics"
 	"hyperhammer/internal/phys"
 	"hyperhammer/internal/simtime"
 	"hyperhammer/internal/trace"
@@ -68,6 +69,12 @@ type Config struct {
 	// Trace, when non-nil, receives structured host-side events (VM
 	// lifecycle, releases, splits, applied flips, machine checks).
 	Trace *trace.Recorder
+	// Metrics, when non-nil, receives counters/gauges/histograms from
+	// every instrumented layer under this host (DRAM, buddy, EPT,
+	// virtio, balloon, hammer). The registry is bound to the host's
+	// simulated clock at boot, so exported rates are per simulated
+	// second.
+	Metrics *metrics.Registry
 }
 
 // DefaultConfig returns an S1-like host: i3-10100 geometry, S1 fault
@@ -132,6 +139,43 @@ type Host struct {
 	// crashed marks a host taken down by an uncorrectable error or a
 	// multihit machine check; all further guest activity fails.
 	crashed bool
+
+	met hostMetrics
+}
+
+// hostMetrics caches the host-level instrument handles; all nil
+// (no-op) without a registry.
+type hostMetrics struct {
+	flips          [2]*metrics.Counter // indexed by dram.FlipDirection
+	eccCorrected   *metrics.Counter
+	eccDetected    *metrics.Counter
+	machineChecks  *metrics.Counter
+	vmsCreated     *metrics.Counter
+	vmsDestroyed   *metrics.Counter
+	hammerOps      *metrics.Counter
+	hammerRounds   *metrics.Counter
+	hammerActs     *metrics.Counter
+	balloonReclaim *metrics.Counter
+	balloonProvide *metrics.Counter
+}
+
+func newHostMetrics(reg *metrics.Registry) hostMetrics {
+	return hostMetrics{
+		flips: [2]*metrics.Counter{
+			dram.FlipOneToZero: reg.Counter("dram_flips_total", "Bit flips applied to memory contents, by direction.", "direction", dram.FlipOneToZero.String()),
+			dram.FlipZeroToOne: reg.Counter("dram_flips_total", "Bit flips applied to memory contents, by direction.", "direction", dram.FlipZeroToOne.String()),
+		},
+		eccCorrected:   reg.Counter("ecc_corrected_total", "Single-bit flips silently repaired by the ECC scrubber."),
+		eccDetected:    reg.Counter("ecc_uncorrectable_total", "Uncorrectable double-bit words detected by ECC (machine check)."),
+		machineChecks:  reg.Counter("host_machine_checks_total", "Host crashes from uncorrectable errors or iTLB multihit."),
+		vmsCreated:     reg.Counter("vms_created_total", "VMs booted on this host."),
+		vmsDestroyed:   reg.Counter("vms_destroyed_total", "VMs destroyed on this host."),
+		hammerOps:      reg.Counter("hammer_ops_total", "Guest hammer operations issued through the KVM layer."),
+		hammerRounds:   reg.Counter("hammer_rounds_total", "Total hammer rounds across all operations."),
+		hammerActs:     reg.Counter("hammer_aggressor_activations_total", "Aggressor-row activations charged to the simulated clock."),
+		balloonReclaim: reg.Counter("balloon_reclaimed_pages_total", "Guest pages reclaimed through the virtio-balloon."),
+		balloonProvide: reg.Counter("balloon_provided_pages_total", "Ballooned pages re-populated with fresh backing."),
+	}
 }
 
 // ErrHostDown reports operations on a crashed host.
@@ -163,7 +207,11 @@ func NewHost(cfg Config) (*Host, error) {
 		rng:        rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0x6C62272E07BB0142)),
 		vms:        make(map[*VM]struct{}),
 		tableOwner: make(map[memdef.PFN]*VM),
+		met:        newHostMetrics(cfg.Metrics),
 	}
+	cfg.Metrics.BindClock(h.Clock)
+	h.DRAM.SetMetrics(cfg.Metrics)
+	h.Buddy.SetMetrics(cfg.Metrics)
 	if err := h.bootNoise(); err != nil {
 		return nil, err
 	}
@@ -336,9 +384,14 @@ func (h *Host) applyFlips(cands []dram.CandidateFlip) int {
 		for _, n := range perWord {
 			if n >= 2 {
 				h.eccDetected++
+				h.met.eccDetected.Inc()
+				if !h.crashed {
+					h.met.machineChecks.Inc()
+				}
 				h.crashed = true
 			} else {
 				h.eccCorrected++
+				h.met.eccCorrected.Inc()
 			}
 		}
 		// Correctable single-bit errors are scrubbed before any read;
@@ -350,6 +403,7 @@ func (h *Host) applyFlips(cands []dram.CandidateFlip) int {
 		if h.Mem.FlipBit(f.Addr, f.Bit, f.Direction == dram.FlipOneToZero) {
 			h.flipLog = append(h.flipLog, AppliedFlip{Addr: f.Addr, Bit: f.Bit, Direction: f.Direction})
 			applied++
+			h.met.flips[f.Direction].Inc()
 			h.cfg.Trace.Emit("dram.flip",
 				"hpa", fmt.Sprintf("%#x", f.Addr), "bit", f.Bit, "dir", f.Direction)
 		}

@@ -165,12 +165,14 @@ func (h *Host) CreateVM(cfg VMConfig) (*VM, error) {
 		return nil, fmt.Errorf("kvm: creating EPT: %w", err)
 	}
 	vm.ept = t
+	t.SetMetrics(h.cfg.Metrics)
 
 	dev, err := virtio.NewMemDevice(0, cfg.MemSize, (*vmMemBackend)(vm), h.cfg.Quarantine)
 	if err != nil {
 		return nil, fmt.Errorf("kvm: creating virtio-mem: %w", err)
 	}
 	vm.memDev = dev
+	dev.SetMetrics(h.cfg.Metrics)
 	dev.SetRequestedSize(cfg.MemSize)
 	for gpa := memdef.GPA(0); uint64(gpa) < cfg.MemSize; gpa += memdef.HugePageSize {
 		if err := dev.Plug(gpa); err != nil {
@@ -185,9 +187,11 @@ func (h *Host) CreateVM(cfg VMConfig) (*VM, error) {
 			vm.Destroy()
 			return nil, fmt.Errorf("kvm: creating IOMMU group %d: %w", i, err)
 		}
+		g.SetMetrics(h.cfg.Metrics)
 		vm.groups = append(vm.groups, g)
 	}
 	h.vms[vm] = struct{}{}
+	h.met.vmsCreated.Inc()
 	h.cfg.Trace.Emit("vm.create",
 		"memBytes", cfg.MemSize, "vfioGroups", cfg.VFIOGroups, "bootSplits", cfg.BootSplits)
 
@@ -517,6 +521,9 @@ func (vm *VM) HammerManyGPA(addrs []memdef.GPA, rounds int) error {
 			Bank: geo.Bank(hpa), Row: geo.Row(hpa),
 		})
 	}
+	vm.host.met.hammerOps.Inc()
+	vm.host.met.hammerRounds.Add(uint64(rounds))
+	vm.host.met.hammerActs.Add(uint64(op.Activations()))
 	vm.host.Clock.Charge(op.Activations(), simtime.RowActivation)
 	vm.host.applyFlips(vm.host.DRAM.Hammer(op))
 	return nil
@@ -574,6 +581,7 @@ func (vm *VM) TriggerMultihitDoS(gpa memdef.GPA) (bool, error) {
 	// Stale 2 MiB iTLB entry + concurrent 4 KiB translation: machine
 	// check, host down.
 	vm.host.crashed = true
+	vm.host.met.machineChecks.Inc()
 	vm.host.cfg.Trace.Emit("host.machinecheck", "cause", "itlb-multihit")
 	return true, nil
 }
@@ -622,5 +630,6 @@ func (vm *VM) Destroy() {
 	vm.netBuffers = nil
 	vm.reverse = nil
 	delete(vm.host.vms, vm)
+	vm.host.met.vmsDestroyed.Inc()
 	vm.host.cfg.Trace.Emit("vm.destroy", "memBytes", vm.cfg.MemSize)
 }

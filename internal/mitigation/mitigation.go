@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 
+	"hyperhammer/internal/trace"
 	"hyperhammer/internal/virtio"
 )
 
@@ -30,15 +31,26 @@ type Stats struct {
 // Quarantine builds a virtio.Guard implementing the paper's detection
 // rule. The returned stats pointer is updated on every decision.
 func Quarantine() (virtio.Guard, *Stats) {
+	return Traced(nil)
+}
+
+// Traced is Quarantine with per-decision trace events: every inspected
+// resize request emits "mitigation.allow" or "mitigation.block" with
+// the request shape, so a trace shows exactly which guest behaviour
+// tripped the rule. A nil recorder is free, making Quarantine() =
+// Traced(nil).
+func Traced(rec *trace.Recorder) (virtio.Guard, *Stats) {
 	stats := &Stats{}
 	guard := func(delta int64, current, requested uint64) error {
 		gap := int64(requested) - int64(current)
 		if delta*gap < 0 || abs(delta) > abs(gap) {
 			stats.Blocked++
+			rec.Emit("mitigation.block", "delta", delta, "current", current, "requested", requested)
 			return fmt.Errorf("%w: delta=%d current=%d requested=%d",
 				ErrQuarantined, delta, current, requested)
 		}
 		stats.Allowed++
+		rec.Emit("mitigation.allow", "delta", delta, "current", current, "requested", requested)
 		return nil
 	}
 	return guard, stats

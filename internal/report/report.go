@@ -154,6 +154,25 @@ func (f *Figure) Summary() string {
 	return b.String()
 }
 
+// MetricsSnapshot is the subset of metrics.Snapshot this package needs,
+// duplicated here so report does not import the metrics package (report
+// sits below every subsystem in the dependency order).
+type MetricsSnapshot interface {
+	// Rows yields one (name, labels, kind, value) row per series, in
+	// deterministic order. Histograms are summarized as count and sum.
+	Rows() [][4]string
+}
+
+// MetricsTable renders a metrics snapshot as a human-readable table:
+// one row per series, histograms summarized by count and sum.
+func MetricsTable(snap MetricsSnapshot) *Table {
+	t := NewTable("Metrics", "metric", "labels", "kind", "value")
+	for _, r := range snap.Rows() {
+		t.AddRow(r[0], r[1], r[2], r[3])
+	}
+	return t
+}
+
 // FormatDuration renders simulated durations in the paper's units:
 // seconds up to minutes, then hours, then days.
 func FormatDuration(d time.Duration) string {

@@ -1,14 +1,18 @@
 // Package trace provides structured event tracing for the simulation:
 // hypervisor-side observability (VM lifecycle, releases, splits,
 // applied flips, machine checks) written as JSON lines, with simulated
-// timestamps. It records what a host operator could observe — it is
-// diagnostics for the simulation's users, not an attacker channel.
+// timestamps, plus span-style phase tracing (StartSpan/End) for
+// attributing where simulated time goes. It records what a host
+// operator could observe — it is diagnostics for the simulation's
+// users, not an attacker channel.
 package trace
 
 import (
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
 	"hyperhammer/internal/simtime"
@@ -27,8 +31,10 @@ type Event struct {
 }
 
 // Recorder writes events. A nil *Recorder is valid and drops
-// everything, so instrumented code needs no guards.
+// everything, so instrumented code needs no guards. All methods are
+// safe for concurrent use.
 type Recorder struct {
+	mu    sync.Mutex
 	clock *simtime.Clock
 	w     io.Writer
 	enc   *json.Encoder
@@ -38,6 +44,10 @@ type Recorder struct {
 	keep   int
 	recent []Event
 	errs   int
+	// open tracks currently open span IDs, innermost last, so a new
+	// span nests under whatever is open.
+	nextSpan uint64
+	open     []uint64
 }
 
 // New creates a recorder writing JSON lines to w (which may be nil for
@@ -56,7 +66,9 @@ func New(w io.Writer, keep int) *Recorder {
 // Safe on a nil receiver.
 func (r *Recorder) BindClock(c *simtime.Clock) {
 	if r != nil {
+		r.mu.Lock()
 		r.clock = c
+		r.mu.Unlock()
 	}
 }
 
@@ -66,6 +78,35 @@ func (r *Recorder) Emit(kind string, kv ...any) {
 	if r == nil {
 		return
 	}
+	data := buildData(kv)
+	r.mu.Lock()
+	r.emitLocked(kind, data)
+	r.mu.Unlock()
+}
+
+// buildData converts alternating key/value pairs into an event's Data
+// map.
+func buildData(kv []any) map[string]any {
+	if len(kv) == 0 {
+		return nil
+	}
+	data := make(map[string]any, (len(kv)+1)/2)
+	for i := 0; i < len(kv); i += 2 {
+		key, ok := kv[i].(string)
+		if !ok {
+			key = fmt.Sprint(kv[i])
+		}
+		if i+1 < len(kv) {
+			data[key] = normalize(kv[i+1])
+		} else {
+			data[key] = nil
+		}
+	}
+	return data
+}
+
+// emitLocked stamps, writes, and retains one event. Caller holds r.mu.
+func (r *Recorder) emitLocked(kind string, data map[string]any) {
 	r.seq++
 	simNow := time.Duration(0)
 	if r.clock != nil {
@@ -75,20 +116,7 @@ func (r *Recorder) Emit(kind string, kv ...any) {
 		Seq:     r.seq,
 		SimTime: simNow.Round(time.Millisecond).String(),
 		Kind:    kind,
-	}
-	if len(kv) > 0 {
-		ev.Data = make(map[string]any, (len(kv)+1)/2)
-		for i := 0; i < len(kv); i += 2 {
-			key, ok := kv[i].(string)
-			if !ok {
-				key = fmt.Sprint(kv[i])
-			}
-			if i+1 < len(kv) {
-				ev.Data[key] = normalize(kv[i+1])
-			} else {
-				ev.Data[key] = nil
-			}
-		}
+		Data:    data,
 	}
 	if r.enc != nil {
 		if err := r.enc.Encode(ev); err != nil {
@@ -103,10 +131,16 @@ func (r *Recorder) Emit(kind string, kv ...any) {
 	}
 }
 
-// normalize converts values that encode poorly (e.g. typed integers)
-// into plain JSON-friendly forms.
+// normalize converts values that encode poorly into plain
+// JSON-friendly forms: errors become their message, byte slices are
+// hex-encoded (encoding/json would base64 them, which is useless in a
+// grep-able trace), and Stringers render as their String().
 func normalize(v any) any {
 	switch x := v.(type) {
+	case error:
+		return x.Error()
+	case []byte:
+		return hex.EncodeToString(x)
 	case interface{ String() string }:
 		return x.String()
 	default:
@@ -119,6 +153,8 @@ func (r *Recorder) Recent() []Event {
 	if r == nil {
 		return nil
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	out := make([]Event, len(r.recent))
 	copy(out, r.recent)
 	return out
@@ -129,6 +165,8 @@ func (r *Recorder) Count() uint64 {
 	if r == nil {
 		return 0
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	return r.seq
 }
 
@@ -137,5 +175,101 @@ func (r *Recorder) EncodeErrors() int {
 	if r == nil {
 		return 0
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	return r.errs
+}
+
+// Span is one open phase. End closes it. A nil *Span is valid and
+// no-ops, matching the nil Recorder.
+type Span struct {
+	r      *Recorder
+	id     uint64
+	parent uint64
+	name   string
+	start  time.Duration
+}
+
+// StartSpan opens a phase span named name and emits a "span.start"
+// event carrying the span ID, its parent span ID (0 when top-level —
+// spans nest under whichever span is currently open), and any extra
+// key/value pairs. Safe on a nil receiver, returning a nil span.
+func (r *Recorder) StartSpan(name string, kv ...any) *Span {
+	if r == nil {
+		return nil
+	}
+	data := buildData(kv)
+	if data == nil {
+		data = make(map[string]any, 3)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.nextSpan++
+	id := r.nextSpan
+	parent := uint64(0)
+	if n := len(r.open); n > 0 {
+		parent = r.open[n-1]
+	}
+	r.open = append(r.open, id)
+	start := time.Duration(0)
+	if r.clock != nil {
+		start = r.clock.Now()
+	}
+	data["span"] = id
+	data["name"] = name
+	if parent != 0 {
+		data["parent"] = parent
+	}
+	r.emitLocked("span.start", data)
+	return &Span{r: r, id: id, parent: parent, name: name, start: start}
+}
+
+// End closes the span, emitting a "span.end" event with the simulated
+// duration since StartSpan plus any extra key/value pairs. Safe on a
+// nil receiver; ending twice emits twice (don't).
+func (s *Span) End(kv ...any) {
+	if s == nil || s.r == nil {
+		return
+	}
+	r := s.r
+	data := buildData(kv)
+	if data == nil {
+		data = make(map[string]any, 4)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := time.Duration(0)
+	if r.clock != nil {
+		now = r.clock.Now()
+	}
+	dur := now - s.start
+	data["span"] = s.id
+	data["name"] = s.name
+	if s.parent != 0 {
+		data["parent"] = s.parent
+	}
+	data["durSim"] = dur.Round(time.Millisecond).String()
+	data["seconds"] = dur.Seconds()
+	r.emitLocked("span.end", data)
+	// Drop the span from the open stack (search from the top: spans
+	// normally close LIFO).
+	for i := len(r.open) - 1; i >= 0; i-- {
+		if r.open[i] == s.id {
+			r.open = append(r.open[:i], r.open[i+1:]...)
+			break
+		}
+	}
+}
+
+// Duration returns the simulated time elapsed since the span started.
+func (s *Span) Duration() time.Duration {
+	if s == nil || s.r == nil {
+		return 0
+	}
+	s.r.mu.Lock()
+	defer s.r.mu.Unlock()
+	if s.r.clock == nil {
+		return 0
+	}
+	return s.r.clock.Now() - s.start
 }

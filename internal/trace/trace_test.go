@@ -3,7 +3,9 @@ package trace
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -72,5 +74,126 @@ func TestStringerNormalization(t *testing.T) {
 	r.Emit("e", "d", 5*time.Second)
 	if got := r.Recent()[0].Data["d"]; got != "5s" {
 		t.Errorf("stringer value = %v", got)
+	}
+}
+
+func TestErrorAndBytesNormalization(t *testing.T) {
+	r := New(nil, 2)
+	r.Emit("e", "err", errors.New("boom"), "blob", []byte{0xde, 0xad})
+	data := r.Recent()[0].Data
+	if data["err"] != "boom" {
+		t.Errorf("error value = %v", data["err"])
+	}
+	if data["blob"] != "dead" {
+		t.Errorf("bytes value = %v", data["blob"])
+	}
+	// Both forms must also survive JSON encoding without errors.
+	var buf bytes.Buffer
+	r2 := New(&buf, 0)
+	r2.Emit("e", "err", errors.New("boom"), "blob", []byte{1, 2, 3})
+	if r2.EncodeErrors() != 0 {
+		t.Errorf("encode errors = %d", r2.EncodeErrors())
+	}
+}
+
+func TestSpanNesting(t *testing.T) {
+	clock := &simtime.Clock{}
+	r := New(nil, 10)
+	r.BindClock(clock)
+
+	outer := r.StartSpan("outer", "k", 1)
+	clock.Advance(2 * time.Second)
+	inner := r.StartSpan("inner")
+	clock.Advance(3 * time.Second)
+	inner.End("ok", true)
+	outer.End()
+
+	evs := r.Recent()
+	if len(evs) != 4 {
+		t.Fatalf("events = %d", len(evs))
+	}
+	start0, start1, end1, end0 := evs[0], evs[1], evs[2], evs[3]
+	if start0.Kind != "span.start" || start0.Data["name"] != "outer" {
+		t.Errorf("outer start = %+v", start0)
+	}
+	if _, hasParent := start0.Data["parent"]; hasParent {
+		t.Error("top-level span has a parent")
+	}
+	if start1.Data["parent"] != outer.id {
+		t.Errorf("inner parent = %v, want %d", start1.Data["parent"], outer.id)
+	}
+	if end1.Data["durSim"] != "3s" || end1.Data["seconds"] != 3.0 {
+		t.Errorf("inner end = %+v", end1.Data)
+	}
+	if end0.Data["durSim"] != "5s" {
+		t.Errorf("outer durSim = %v", end0.Data["durSim"])
+	}
+	if end1.Data["ok"] != true {
+		t.Errorf("extra kv lost: %+v", end1.Data)
+	}
+}
+
+func TestSpanSiblingsShareParent(t *testing.T) {
+	r := New(nil, 10)
+	root := r.StartSpan("root")
+	a := r.StartSpan("a")
+	a.End()
+	b := r.StartSpan("b")
+	b.End()
+	root.End()
+	evs := r.Recent()
+	// events: root.start a.start a.end b.start b.end root.end
+	if evs[3].Data["parent"] != root.id {
+		t.Errorf("sibling b parent = %v, want %d", evs[3].Data["parent"], root.id)
+	}
+}
+
+func TestNilSpanIsSafe(t *testing.T) {
+	var r *Recorder
+	span := r.StartSpan("x", "k", 1)
+	if span != nil {
+		t.Fatal("nil recorder returned non-nil span")
+	}
+	span.End("k", 2) // must not panic
+	if span.Duration() != 0 {
+		t.Error("nil span has duration")
+	}
+}
+
+func TestConcurrentEmitAndSpans(t *testing.T) {
+	var buf bytes.Buffer
+	clock := &simtime.Clock{}
+	r := New(&buf, 64)
+	r.BindClock(clock)
+	var wg sync.WaitGroup
+	const workers = 8
+	const each = 200
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				switch i % 3 {
+				case 0:
+					r.Emit("e", "w", w, "i", i)
+				case 1:
+					span := r.StartSpan("s", "w", w)
+					span.End()
+				default:
+					r.Recent()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if r.EncodeErrors() != 0 {
+		t.Errorf("encode errors = %d", r.EncodeErrors())
+	}
+	// Every JSON line must be well-formed despite concurrent writers.
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var ev Event
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("corrupt line %q: %v", line, err)
+		}
 	}
 }

@@ -13,6 +13,7 @@ import (
 
 	"hyperhammer/internal/ept"
 	"hyperhammer/internal/memdef"
+	"hyperhammer/internal/metrics"
 	"hyperhammer/internal/phys"
 )
 
@@ -45,6 +46,10 @@ type Group struct {
 	mapLimit int
 	mappings int
 }
+
+// SetMetrics instruments the group's shadow IOPT; its walks, splits
+// and table pages aggregate into the shared ept_* series.
+func (g *Group) SetMetrics(reg *metrics.Registry) { g.iopt.SetMetrics(reg) }
 
 // NewGroup creates an IOMMU group whose shadow IOPT pages come from
 // alloc (the host's unmovable order-0 table-page allocator).

@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"hyperhammer/internal/memdef"
+	"hyperhammer/internal/metrics"
 )
 
 // SubBlockSize is the virtio-mem sub-block granularity: 2 MiB, aligned
@@ -68,6 +69,29 @@ type MemDevice struct {
 	// stats for experiments
 	unplugRequests int
 	nackCount      int
+
+	met deviceMetrics
+}
+
+// deviceMetrics caches the device's instrument handles; all nil
+// (no-op) until SetMetrics. Series are shared by name across devices.
+type deviceMetrics struct {
+	plugs   *metrics.Counter
+	unplugs *metrics.Counter
+	nacks   *metrics.Counter
+	plugged *metrics.Gauge
+}
+
+// SetMetrics registers the device's instruments with reg. A nil
+// registry leaves the device uninstrumented at zero cost.
+func (d *MemDevice) SetMetrics(reg *metrics.Registry) {
+	d.met = deviceMetrics{
+		plugs:   reg.Counter("virtio_plugs_total", "Sub-blocks plugged by guest PLUG requests."),
+		unplugs: reg.Counter("virtio_unplugs_total", "Sub-blocks released by guest UNPLUG requests."),
+		nacks:   reg.Counter("virtio_nacks_total", "Guest requests refused by the device (protocol or quarantine guard)."),
+		plugged: reg.Gauge("virtio_plugged_bytes", "Bytes currently plugged across all virtio-mem devices."),
+	}
+	d.met.plugged.Add(int64(d.pluggedBytes))
 }
 
 // NewMemDevice creates a device covering the guest physical range
@@ -141,6 +165,7 @@ func (d *MemDevice) Plug(gpa memdef.GPA) error {
 	if d.guard != nil {
 		if gerr := d.guard(SubBlockSize, d.pluggedBytes, d.requested); gerr != nil {
 			d.nackCount++
+			d.met.nacks.Inc()
 			return fmt.Errorf("%w: %v", ErrNACK, gerr)
 		}
 	}
@@ -149,6 +174,8 @@ func (d *MemDevice) Plug(gpa memdef.GPA) error {
 	}
 	d.plugged[idx] = true
 	d.pluggedBytes += SubBlockSize
+	d.met.plugs.Inc()
+	d.met.plugged.Add(SubBlockSize)
 	return nil
 }
 
@@ -168,6 +195,7 @@ func (d *MemDevice) Unplug(gpa memdef.GPA) error {
 	if d.guard != nil {
 		if gerr := d.guard(-SubBlockSize, d.pluggedBytes, d.requested); gerr != nil {
 			d.nackCount++
+			d.met.nacks.Inc()
 			return fmt.Errorf("%w: %v", ErrNACK, gerr)
 		}
 	}
@@ -176,6 +204,8 @@ func (d *MemDevice) Unplug(gpa memdef.GPA) error {
 	}
 	d.plugged[idx] = false
 	d.pluggedBytes -= SubBlockSize
+	d.met.unplugs.Inc()
+	d.met.plugged.Add(-SubBlockSize)
 	return nil
 }
 
