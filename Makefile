@@ -25,11 +25,18 @@ test-race:
 
 # Every table/figure experiment as benchmarks, full paper scale.
 # Table 3 runs two complete attack campaigns and dominates the time.
+# The raw log is kept and also parsed into a machine-readable
+# BENCH_*.json (names, iteration counts, ns/op, allocations, and the
+# custom sim-time metrics reported via b.ReportMetric).
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	$(GO) test -bench=. -benchmem ./... > bench_output.txt || { cat bench_output.txt; exit 1; }
+	cat bench_output.txt
+	$(GO) run ./cmd/hh-benchjson -o BENCH_full.json bench_output.txt
 
 bench-short:
-	$(GO) test -bench=. -benchmem -short ./...
+	$(GO) test -bench=. -benchmem -short ./... > bench_output.txt || { cat bench_output.txt; exit 1; }
+	cat bench_output.txt
+	$(GO) run ./cmd/hh-benchjson -o BENCH_short.json bench_output.txt
 
 # Regenerate the paper's evaluation artifacts as text.
 tables:
@@ -48,4 +55,4 @@ fuzz:
 
 clean:
 	$(GO) clean ./...
-	rm -f test_output.txt bench_output.txt
+	rm -f test_output.txt bench_output.txt BENCH_full.json BENCH_short.json

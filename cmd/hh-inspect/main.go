@@ -1,0 +1,77 @@
+// Command hh-inspect analyzes a recorded JSONL trace file offline:
+// the span tree with simulated per-phase timing and correct parent
+// attribution, a per-kind event census, a phase timeline, and a
+// summary of anomalies (lost events, unmatched spans, malformed
+// lines).
+//
+// Usage:
+//
+//	hyperhammer -short -trace run.trace
+//	hh-inspect run.trace             # everything
+//	hh-inspect -tree run.trace       # just the span tree
+//	hh-inspect -kinds -anomalies run.trace
+//	hh-inspect -timeline -width 100 run.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hyperhammer/internal/obs"
+	"hyperhammer/internal/report"
+	"time"
+)
+
+func main() {
+	tree := flag.Bool("tree", false, "print the span tree with per-phase simulated timing")
+	kinds := flag.Bool("kinds", false, "print the per-kind event census")
+	timeline := flag.Bool("timeline", false, "print top-level spans as a timeline over simulated time")
+	anomalies := flag.Bool("anomalies", false, "print what the trace says went wrong")
+	width := flag.Int("width", 72, "timeline width in characters")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: hh-inspect [-tree] [-kinds] [-timeline] [-anomalies] trace.jsonl")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	in, err := obs.Inspect(f)
+	if err != nil {
+		fatal(err)
+	}
+
+	// No section selected: print everything.
+	all := !*tree && !*kinds && !*timeline && !*anomalies
+	out := os.Stdout
+	fmt.Fprintf(out, "%s: %d events, %s simulated\n\n",
+		flag.Arg(0), in.Events,
+		report.FormatDuration(time.Duration(in.LastSimSeconds*float64(time.Second))))
+	if all || *tree {
+		in.WriteSpanTree(out)
+		fmt.Fprintln(out)
+	}
+	if all || *timeline {
+		in.WriteTimeline(out, *width)
+		fmt.Fprintln(out)
+	}
+	if all || *kinds {
+		in.WriteKinds(out)
+		fmt.Fprintln(out)
+	}
+	if all || *anomalies {
+		in.WriteAnomalies(out)
+	}
+	if in.SeqGaps > 0 || in.MalformedLines > 0 {
+		os.Exit(1) // the trace is damaged; make scripts notice
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hh-inspect:", err)
+	os.Exit(1)
+}

@@ -13,14 +13,17 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"hyperhammer"
 	"hyperhammer/experiments"
+	"hyperhammer/internal/obs"
 )
 
 type intList []int
@@ -48,21 +51,45 @@ func main() {
 	attempts := flag.Int("attempts", 0, "Table 3 attempt cap (0 = default)")
 	tracePath := flag.String("trace", "", "write JSONL trace events from every booted host to this file")
 	metricsPath := flag.String("metrics", "", "write aggregated metrics to this file at exit (Prometheus text; .json suffix selects a JSON snapshot)")
+	obsAddr := flag.String("obs", "", "serve the live observability plane on this address (status page, /metrics, /api/series, SSE events, pprof)")
+	obsSample := flag.Duration("obs-sample", time.Second, "simulated-time interval between observability samples")
+	obsHold := flag.Duration("obs-hold", 0, "keep the observability server up this long (wall clock) after the run ends")
 	flag.Var(&tables, "table", "table number to reproduce (repeatable: 1, 2, 3)")
 	flag.Parse()
 
 	o := experiments.Options{Seed: *seed, Short: *short, MaxAttempts: *attempts}
+	var traceFile *os.File
 	if *tracePath != "" {
 		f, err := os.Create(*tracePath)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "hh-tables: %v\n", err)
 			os.Exit(1)
 		}
-		defer f.Close()
-		o.Trace = hyperhammer.NewTrace(f, 0)
+		traceFile = f
+		// Buffered; closeTrace flushes on every exit path (os.Exit
+		// skips defers, and fail() exits through os.Exit).
+		o.Trace = hyperhammer.NewTrace(bufio.NewWriterSize(f, 1<<20), 0)
 	}
+	closeTrace := func() {
+		if o.Trace == nil {
+			return
+		}
+		if err := o.Trace.Flush(); err != nil {
+			fmt.Fprintln(os.Stderr, "hh-tables: flushing trace:", err)
+		}
+		if n := o.Trace.EncodeErrors(); n > 0 {
+			fmt.Fprintf(os.Stderr, "hh-tables: %d trace events lost to encode/flush errors\n", n)
+		}
+		traceFile.Close()
+	}
+	if *metricsPath != "" || *obsAddr != "" {
+		o.Metrics = hyperhammer.NewMetrics()
+	}
+	// Progress lines carry the simulated clock of the most recently
+	// booted host — each experiment restarts it.
+	log := obs.NewLogger(os.Stderr, o.Metrics.SimTime, nil)
 	flushMetrics := func() {
-		if o.Metrics == nil {
+		if o.Metrics == nil || *metricsPath == "" {
 			return
 		}
 		f, err := os.Create(*metricsPath)
@@ -80,11 +107,27 @@ func main() {
 			fmt.Fprintf(os.Stderr, "hh-tables: %v\n", err)
 		}
 	}
-	if *metricsPath != "" {
-		o.Metrics = hyperhammer.NewMetrics()
-		// os.Exit skips defers; fail() below also flushes, so partial
-		// metrics survive an experiment error.
-		defer flushMetrics()
+	var srv *obs.Server
+	if *obsAddr != "" {
+		plane := hyperhammer.NewObs(o.Metrics, hyperhammer.ObsConfig{SampleEvery: *obsSample})
+		o.Obs = plane
+		var err error
+		if srv, err = plane.Serve(*obsAddr); err != nil {
+			fmt.Fprintf(os.Stderr, "hh-tables: %v\n", err)
+			os.Exit(1)
+		}
+		log.Info("observability plane serving", "url", "http://"+srv.Addr()+"/")
+	}
+	shutdown := func() {
+		flushMetrics()
+		closeTrace()
+		if srv != nil {
+			if *obsHold > 0 {
+				log.Info("holding observability server before exit", "hold", obsHold.String())
+				time.Sleep(*obsHold)
+			}
+			srv.Close()
+		}
 	}
 	want := func(n int) bool {
 		if *all {
@@ -100,13 +143,17 @@ func main() {
 	ran := false
 	fail := func(what string, err error) {
 		fmt.Fprintf(os.Stderr, "hh-tables: %s: %v\n", what, err)
-		flushMetrics()
+		shutdown()
 		os.Exit(1)
+	}
+	run := func(what string) {
+		ran = true
+		log.Info("running", "artifact", what)
 	}
 
 	var t1 *experiments.Table1Result
 	if want(1) {
-		ran = true
+		run("table 1")
 		var err error
 		if t1, err = experiments.Table1(o); err != nil {
 			fail("table 1", err)
@@ -114,7 +161,7 @@ func main() {
 		fmt.Println(t1.Table())
 	}
 	if want(2) {
-		ran = true
+		run("table 2")
 		t2, err := experiments.Table2(o)
 		if err != nil {
 			fail("table 2", err)
@@ -122,7 +169,7 @@ func main() {
 		fmt.Println(t2.Table())
 	}
 	if want(3) {
-		ran = true
+		run("table 3")
 		t3, err := experiments.Table3(o)
 		if err != nil {
 			fail("table 3", err)
@@ -130,7 +177,7 @@ func main() {
 		fmt.Println(t3.Table())
 	}
 	if *figure || *all {
-		ran = true
+		run("figure 3")
 		f3, err := experiments.Figure3(o)
 		if err != nil {
 			fail("figure 3", err)
@@ -140,12 +187,12 @@ func main() {
 		fmt.Println(f3.Figure().Summary())
 	}
 	if *analysis || *all {
-		ran = true
+		run("analysis")
 		fmt.Println(experiments.Analysis(o, t1).Table())
 		fmt.Println(experiments.VMSize(o).Table())
 	}
 	if *extras || *all {
-		ran = true
+		run("extras")
 		dd, err := experiments.DRAMDig(o)
 		if err != nil {
 			fail("dramdig", err)
@@ -183,7 +230,7 @@ func main() {
 		fmt.Println(mh.Table())
 	}
 	if *ablations || *all {
-		ran = true
+		run("ablations")
 		side, err := experiments.AblationSidedness(o)
 		if err != nil {
 			fail("ablation sidedness", err)
@@ -213,7 +260,9 @@ func main() {
 	if !ran {
 		fmt.Fprintln(os.Stderr, "hh-tables: nothing selected; try -all or -table N")
 		fmt.Fprintln(os.Stderr, strings.TrimSpace(`
-flags: -table N (repeatable) -figure -analysis -extras -ablations -all -short -seed S -attempts N`))
+flags: -table N (repeatable) -figure -analysis -extras -ablations -all -short -seed S -attempts N -obs ADDR`))
+		shutdown()
 		os.Exit(2)
 	}
+	shutdown()
 }

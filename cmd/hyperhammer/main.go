@@ -6,18 +6,22 @@
 //
 // Usage:
 //
-//	hyperhammer              # full-scale campaign (minutes)
-//	hyperhammer -short       # 4 GiB scale (seconds)
-//	hyperhammer -attempts N  # attempt budget
+//	hyperhammer                    # full-scale campaign (minutes)
+//	hyperhammer -short             # 4 GiB scale (seconds)
+//	hyperhammer -attempts N        # attempt budget
+//	hyperhammer -obs 127.0.0.1:0   # live status page + /metrics + SSE
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"hyperhammer"
+	"hyperhammer/internal/obs"
 	"hyperhammer/internal/report"
 )
 
@@ -28,6 +32,9 @@ func main() {
 	tracePath := flag.String("trace", "", "write host-side JSONL trace events to this file")
 	metricsPath := flag.String("metrics", "", "write end-of-run metrics to this file (Prometheus text; .json suffix selects a JSON snapshot)")
 	metricsTable := flag.Bool("metrics-table", false, "print the metrics as a human-readable table at exit")
+	obsAddr := flag.String("obs", "", "serve the live observability plane on this address (status page, /metrics, /api/series, SSE events, pprof)")
+	obsSample := flag.Duration("obs-sample", time.Second, "simulated-time interval between observability samples")
+	obsHold := flag.Duration("obs-hold", 0, "keep the observability server up this long (wall clock) after the campaign ends")
 	flag.Parse()
 
 	if *seed == 0 {
@@ -64,18 +71,61 @@ func main() {
 		budget = *attempts
 	}
 
+	var rec *hyperhammer.TraceRecorder
+	var traceFile *os.File
 	if *tracePath != "" {
 		f, err := os.Create(*tracePath)
 		if err != nil {
 			fatal(err)
 		}
-		defer f.Close()
-		hostCfg.Trace = hyperhammer.NewTrace(f, 0)
+		traceFile = f
+		// Buffered: a campaign emits hundreds of thousands of events.
+		// closeTrace flushes on every exit path — os.Exit skips defers,
+		// and the buffered tail is the part that explains a crash.
+		rec = hyperhammer.NewTrace(bufio.NewWriterSize(f, 1<<20), 0)
+		hostCfg.Trace = rec
 	}
+	closeTrace := func() {
+		if rec == nil {
+			return
+		}
+		if err := rec.Flush(); err != nil {
+			fmt.Fprintln(os.Stderr, "hyperhammer: flushing trace:", err)
+		}
+		if n := rec.EncodeErrors(); n > 0 {
+			fmt.Fprintf(os.Stderr, "hyperhammer: %d trace events lost to encode/flush errors\n", n)
+		}
+		traceFile.Close()
+	}
+
 	var reg *hyperhammer.MetricsRegistry
-	if *metricsPath != "" || *metricsTable {
+	if *metricsPath != "" || *metricsTable || *obsAddr != "" {
 		reg = hyperhammer.NewMetrics()
 		hostCfg.Metrics = reg
+	}
+	// Every progress line is stamped with the simulated clock, the
+	// time base of every duration the campaign reports.
+	log := obs.NewLogger(os.Stdout, reg.SimTime, nil)
+
+	var srv *obs.Server
+	if *obsAddr != "" {
+		plane := hyperhammer.NewObs(reg, hyperhammer.ObsConfig{SampleEvery: *obsSample})
+		hostCfg.Obs = plane
+		var err error
+		if srv, err = plane.Serve(*obsAddr); err != nil {
+			fatal(err)
+		}
+		log.Info("observability plane serving", "url", "http://"+srv.Addr()+"/")
+	}
+	closeObs := func() {
+		if srv == nil {
+			return
+		}
+		if *obsHold > 0 {
+			log.Info("holding observability server before exit", "hold", obsHold.String())
+			time.Sleep(*obsHold)
+		}
+		srv.Close()
 	}
 	// Called explicitly before every exit path: os.Exit skips defers.
 	exportMetrics := func() {
@@ -103,6 +153,11 @@ func main() {
 			fatal(err)
 		}
 	}
+	shutdown := func() {
+		exportMetrics()
+		closeTrace()
+		closeObs()
+	}
 
 	host, err := hyperhammer.NewHost(hostCfg)
 	if err != nil {
@@ -110,10 +165,14 @@ func main() {
 	}
 	const secretValue = 0xC0FFEE_5EC2E7
 	secretHPA := host.PlantSecret(secretValue)
-	fmt.Printf("host: %s, %d MiB, THP + NX-hugepages, stock QEMU\n",
-		hostCfg.Geometry.Name, hostCfg.Geometry.Size/hyperhammer.MiB)
-	fmt.Printf("secret planted in host kernel memory at HPA %#x\n", secretHPA)
-	fmt.Printf("attacker VM: %d MiB, 1 VFIO device, vIOMMU enabled\n\n", vmCfg.MemSize/hyperhammer.MiB)
+	log.Info("host booted",
+		"geometry", hostCfg.Geometry.Name,
+		"memMiB", hostCfg.Geometry.Size/hyperhammer.MiB,
+		"thp", true, "nxHugepages", true, "qemu", "stock")
+	log.Info("secret planted in host kernel memory",
+		"hpa", fmt.Sprintf("%#x", uint64(secretHPA)))
+	log.Info("attacker VM configured",
+		"memMiB", vmCfg.MemSize/hyperhammer.MiB, "vfioGroups", 1, "viommu", true)
 
 	res, err := hyperhammer.RunCampaign(host, hyperhammer.CampaignConfig{
 		Attack:             attackCfg,
@@ -125,29 +184,32 @@ func main() {
 		ChurnOps:           400,
 	})
 	if err != nil {
+		shutdown()
 		fatal(err)
 	}
-	fmt.Printf("profiling: %d exploitable bits, %v simulated\n",
-		res.ProfiledBits, res.ProfileDuration)
-	fmt.Printf("attempts: %d run, avg %v simulated each\n",
-		len(res.Attempts), res.AvgAttemptTime())
-	fmt.Printf("phase breakdown: profile %s, steer %s, exploit %s, reboot %s, setup %s\n",
-		report.FormatDuration(res.ProfileDuration),
-		report.FormatDuration(res.SteerTime),
-		report.FormatDuration(res.ExploitTime),
-		report.FormatDuration(res.RebootTime),
-		report.FormatDuration(res.SetupTime))
+	log.Info("profiling finished",
+		"exploitableBits", res.ProfiledBits,
+		"simulated", res.ProfileDuration.String())
+	log.Info("attempts finished",
+		"run", len(res.Attempts),
+		"avgSimulated", res.AvgAttemptTime().String())
+	log.Info("phase breakdown",
+		"profile", report.FormatDuration(res.ProfileDuration),
+		"steer", report.FormatDuration(res.SteerTime),
+		"exploit", report.FormatDuration(res.ExploitTime),
+		"reboot", report.FormatDuration(res.RebootTime),
+		"setup", report.FormatDuration(res.SetupTime))
 	if res.Successes == 0 {
 		fmt.Printf("\nno escape within %d attempts (expected ~%.0f at the Section 5.3.1 bound); retry with more -attempts or another -seed\n",
 			budget, hyperhammer.ExpectedAttempts(uint64(vmCfg.MemSize), hostCfg.Geometry.Size))
-		exportMetrics()
+		shutdown()
 		os.Exit(1)
 	}
 	fmt.Printf("\nESCAPE at attempt %d after %v simulated attack time\n",
 		res.FirstSuccessAttempt, res.TimeToFirstSuccess)
 	fmt.Printf("the guest read the host-kernel secret %#x through a stolen EPT page:\n", uint64(secretValue))
 	fmt.Println("KVM-enforced isolation broken.")
-	exportMetrics()
+	shutdown()
 }
 
 func shortGeometry() *hyperhammer.Geometry {

@@ -18,6 +18,7 @@ import (
 	"hyperhammer/internal/kvm"
 	"hyperhammer/internal/memdef"
 	"hyperhammer/internal/metrics"
+	"hyperhammer/internal/obs"
 	"hyperhammer/internal/trace"
 )
 
@@ -39,6 +40,11 @@ type Options struct {
 	// booted host into one registry. Per-host clocks rebind on each
 	// boot, so sim_seconds reflects the most recent host.
 	Metrics *metrics.Registry
+	// Obs, when non-nil, is the live observability plane. Every booted
+	// host arms its sampler and taps its trace stream, so a browser
+	// watching the plane's server sees each experiment's hosts come and
+	// go in turn.
+	Obs *obs.Plane
 }
 
 // DefaultOptions returns the full-scale deterministic defaults.
@@ -185,6 +191,7 @@ func (o Options) newHost(sys System) (*kvm.Host, error) {
 		Seed:           o.Seed ^ uint64(sys)<<32,
 		Trace:          o.Trace,
 		Metrics:        o.Metrics,
+		Obs:            o.Obs,
 	}
 	h, err := kvm.NewHost(cfg)
 	if err != nil {

@@ -48,6 +48,7 @@ import (
 	"io"
 
 	"hyperhammer/internal/mitigation"
+	"hyperhammer/internal/obs"
 	"hyperhammer/internal/trace"
 	"hyperhammer/internal/virtio"
 	"hyperhammer/internal/xenlite"
@@ -155,6 +156,26 @@ func NewMetrics() *MetricsRegistry { return metrics.New() }
 // HostConfig.Trace; the host binds its simulated clock at boot.
 func NewTrace(w io.Writer, keep int) *TraceRecorder {
 	return trace.New(w, keep)
+}
+
+// TraceSpan is one open phase span; open roots with
+// TraceRecorder.StartSpan and children with Span.StartChild.
+type TraceSpan = trace.Span
+
+// ObsPlane is the live observability plane: a sim-time time-series
+// sampler over a metrics registry plus an event bus fed by the trace
+// recorder. Install one via HostConfig.Obs (every host boot arms the
+// sampler on its clock) and serve it over HTTP with ObsPlane.Serve.
+type ObsPlane = obs.Plane
+
+// ObsConfig tunes the observability plane (sampling interval, ring
+// capacities); the zero value selects usable defaults.
+type ObsConfig = obs.Config
+
+// NewObs creates an observability plane over a metrics registry (which
+// should be the same registry installed via HostConfig.Metrics).
+func NewObs(reg *MetricsRegistry, cfg ObsConfig) *ObsPlane {
+	return obs.NewPlane(reg, cfg)
 }
 
 // BootGuest starts the guest OS runtime on a VM.

@@ -118,10 +118,13 @@ func RunCampaign(h *kvm.Host, ccfg CampaignConfig) (*CampaignResult, error) {
 		ccfg.Attack.Metrics = h.Config().Metrics
 	}
 	res := &CampaignResult{}
-	span := ccfg.Attack.Trace.StartSpan("attack.campaign", "maxAttempts", ccfg.MaxAttempts)
+	span := ccfg.Attack.startSpan("attack.campaign", "maxAttempts", ccfg.MaxAttempts)
 	defer func() {
 		span.End("attempts", len(res.Attempts), "successes", res.Successes)
 	}()
+	// Everything below — the one-time profile and every attempt —
+	// belongs to this campaign in the recorded span tree.
+	ccfg.Attack.Span = span
 
 	// One-time profile, pinned to physical addresses via hypercall.
 	vm, err := h.CreateVM(ccfg.VM)
@@ -198,7 +201,7 @@ func RunCampaign(h *kvm.Host, ccfg CampaignConfig) (*CampaignResult, error) {
 // runAttempt performs one steer-and-exploit attempt on a fresh VM.
 func runAttempt(h *kvm.Host, ccfg CampaignConfig, bits []physicalBit, index int) (stats AttemptStats, err error) {
 	stats = AttemptStats{Index: index}
-	span := ccfg.Attack.Trace.StartSpan("attack.attempt", "index", index)
+	span := ccfg.Attack.startSpan("attack.attempt", "index", index)
 	defer func() { span.End("success", stats.Success) }()
 	sw := simtime.NewStopwatch(h.Clock)
 	defer func() { stats.Duration = sw.Elapsed() }()
@@ -218,6 +221,9 @@ func runAttempt(h *kvm.Host, ccfg CampaignConfig, bits []physicalBit, index int)
 	// (Section 4.3, "Improving Success Rates").
 	acfg := ccfg.Attack
 	acfg.SpraySeed = uint64(index)*0x9E3779B97F4A7C15 + 1
+	// Steering and exploitation nest under this attempt, not the
+	// campaign.
+	acfg.Span = span
 
 	// Allocate everything and relocate the profiled bits into the new
 	// address space with the hypercall (Section 5.3.2).

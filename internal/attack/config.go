@@ -85,6 +85,12 @@ type Config struct {
 	// Trace, when non-nil, receives span.* phase events for the attack
 	// steps. RunCampaign defaults it to the host's recorder.
 	Trace *trace.Recorder
+	// Span, when non-nil, is the parent under which this invocation's
+	// phase spans nest. RunCampaign threads the campaign span into the
+	// profile and the attempt span into steering and exploitation, so a
+	// recorded trace attributes every phase to the attempt that ran it
+	// even when campaigns overlap. Left nil, phases open as root spans.
+	Span *trace.Span
 	// Metrics, when non-nil, receives attack counters and the
 	// attack_phase_seconds phase-timing histogram. RunCampaign defaults
 	// it to the host's registry.
@@ -96,6 +102,15 @@ type Config struct {
 var PhaseBuckets = []float64{
 	60, 300, 900, 1800, 3600, 2 * 3600, 6 * 3600, 12 * 3600,
 	24 * 3600, 2 * 24 * 3600, 4 * 24 * 3600, 7 * 24 * 3600,
+}
+
+// startSpan opens a phase span nested under c.Span when one is set,
+// falling back to a root span on c.Trace.
+func (c Config) startSpan(name string, kv ...any) *trace.Span {
+	if c.Span != nil {
+		return c.Span.StartChild(name, kv...)
+	}
+	return c.Trace.StartSpan(name, kv...)
 }
 
 // observePhase records one phase duration (simulated) in the

@@ -78,7 +78,7 @@ type ProfileResult struct {
 // hammering is forced by virtio-mem's 2 MiB release granularity
 // (Section 4.1).
 func Profile(os *guest.OS, cfg Config) (*ProfileResult, error) {
-	span := cfg.Trace.StartSpan("attack.profile")
+	span := cfg.startSpan("attack.profile")
 	res, err := profile(os, cfg)
 	if err != nil {
 		span.End("err", err)

@@ -61,7 +61,7 @@ type ReleasedVictim struct {
 //
 // victims must come from a prior Profile on the same guest.
 func PageSteer(os *guest.OS, cfg Config, buf Buffer, victims []VulnBit) (*SteerResult, error) {
-	span := cfg.Trace.StartSpan("attack.steer", "victims", len(victims))
+	span := cfg.startSpan("attack.steer", "victims", len(victims))
 	res, err := pageSteer(os, cfg, buf, victims)
 	if err != nil {
 		span.End("err", err)

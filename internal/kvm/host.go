@@ -19,6 +19,7 @@ import (
 	"hyperhammer/internal/dram"
 	"hyperhammer/internal/memdef"
 	"hyperhammer/internal/metrics"
+	"hyperhammer/internal/obs"
 	"hyperhammer/internal/phys"
 	"hyperhammer/internal/simtime"
 	"hyperhammer/internal/trace"
@@ -75,6 +76,12 @@ type Config struct {
 	// simulated clock at boot, so exported rates are per simulated
 	// second.
 	Metrics *metrics.Registry
+	// Obs, when non-nil, is the live observability plane: at boot it is
+	// bound to the host's simulated clock (arming the periodic
+	// time-series sampler) and tapped into the host's trace recorder
+	// (streaming events to subscribers). The plane should wrap the same
+	// registry as Metrics.
+	Obs *obs.Plane
 }
 
 // DefaultConfig returns an S1-like host: i3-10100 geometry, S1 fault
@@ -216,6 +223,8 @@ func NewHost(cfg Config) (*Host, error) {
 		return nil, err
 	}
 	h.cfg.Trace.BindClock(h.Clock)
+	h.cfg.Obs.TapTrace(h.cfg.Trace)
+	h.cfg.Obs.BindClock(h.Clock)
 	h.cfg.Trace.Emit("host.boot",
 		"geometry", cfg.Geometry.Name,
 		"memBytes", cfg.Geometry.Size,

@@ -1,0 +1,65 @@
+package kvm
+
+import (
+	"testing"
+	"time"
+
+	"hyperhammer/internal/memdef"
+	"hyperhammer/internal/metrics"
+	"hyperhammer/internal/obs"
+	"hyperhammer/internal/trace"
+)
+
+// TestHostBootArmsObsPlane verifies NewHost wires a configured plane:
+// the sampler ticks on the host clock and host trace events land on
+// the plane's bus.
+func TestHostBootArmsObsPlane(t *testing.T) {
+	reg := metrics.New()
+	rec := trace.New(nil, 0)
+	plane := obs.NewPlane(reg, obs.Config{SampleEvery: time.Second})
+	sub := plane.Bus().Subscribe(256)
+	defer sub.Cancel()
+
+	cfg := testHostConfig()
+	cfg.Metrics = reg
+	cfg.Trace = rec
+	cfg.Obs = plane
+	h := newTestHost(t, cfg)
+
+	// Boot alone produced the anchor sample and the host.boot event.
+	if plane.Store().Samples() == 0 {
+		t.Fatal("no anchor sample at boot")
+	}
+	seenBoot := false
+	for len(sub.Events()) > 0 {
+		if ev := <-sub.Events(); ev.Kind == "host.boot" {
+			seenBoot = true
+		}
+	}
+	if !seenBoot {
+		t.Error("host.boot never reached the bus")
+	}
+
+	// Activity that advances the simulated clock grows the series.
+	before := plane.Store().Samples()
+	vm := newTestVM(t, h, 64*memdef.MiB)
+	h.Clock.Advance(3 * time.Second)
+	vm.Destroy()
+	if after := plane.Store().Samples(); after <= before {
+		t.Errorf("samples stuck at %d while sim time advanced", after)
+	}
+	series := plane.Store().Series("")
+	if len(series) == 0 {
+		t.Fatal("no series recorded from host instrumentation")
+	}
+	grew := false
+	for _, sd := range series {
+		if len(sd.Points) >= 2 {
+			grew = true
+			break
+		}
+	}
+	if !grew {
+		t.Fatalf("no series has >= 2 points: %+v", series)
+	}
+}

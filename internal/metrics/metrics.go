@@ -345,19 +345,24 @@ type Snapshot struct {
 	Help map[string]string `json:"help,omitempty"`
 }
 
-// Snapshot copies the current state of every series.
+// Snapshot copies the current state of every series. The registry
+// stays locked for the whole walk: the live observability plane
+// snapshots concurrently with series creation, and a family's series
+// map must not grow mid-iteration.
 func (r *Registry) Snapshot() Snapshot {
 	snap := Snapshot{Help: make(map[string]string)}
 	if r == nil {
 		return snap
 	}
-	snap.SimSeconds = r.SimTime().Seconds()
 	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.clock != nil {
+		snap.SimSeconds = r.clock.Now().Seconds()
+	}
 	fams := make([]*family, 0, len(r.families))
 	for _, f := range r.families {
 		fams = append(fams, f)
 	}
-	r.mu.Unlock()
 	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
 	for _, f := range fams {
 		snap.Help[f.name] = f.help

@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"bytes"
+	"log/slog"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLogHandlerStampsSimTime(t *testing.T) {
+	var buf bytes.Buffer
+	now := time.Duration(0)
+	log := NewLogger(&buf, func() time.Duration { return now }, nil)
+
+	log.Info("campaign started", "hosts", 3)
+	now = 90 * time.Minute
+	log.Warn("attempt failed", "attempt", 2, "reason", "no landing")
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %q", lines)
+	}
+	if lines[0] != `sim=0.0s level=INFO msg="campaign started" hosts=3` {
+		t.Errorf("line 0 = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "sim=1.5h level=WARN") ||
+		!strings.Contains(lines[1], `reason="no landing"`) {
+		t.Errorf("line 1 = %q", lines[1])
+	}
+}
+
+func TestLogHandlerNilSimNow(t *testing.T) {
+	var buf bytes.Buffer
+	NewLogger(&buf, nil, nil).Info("boot")
+	if got := strings.TrimSpace(buf.String()); got != "sim=- level=INFO msg=boot" {
+		t.Errorf("line = %q", got)
+	}
+}
+
+func TestLogHandlerLevelFilter(t *testing.T) {
+	var buf bytes.Buffer
+	log := NewLogger(&buf, nil, slog.LevelWarn)
+	log.Debug("hidden")
+	log.Info("hidden too")
+	log.Error("shown")
+	if n := strings.Count(buf.String(), "\n"); n != 1 {
+		t.Errorf("records = %d:\n%s", n, buf.String())
+	}
+	if !strings.Contains(buf.String(), "level=ERROR") {
+		t.Errorf("output = %q", buf.String())
+	}
+}
+
+func TestLogHandlerWithAttrsAndGroups(t *testing.T) {
+	var buf bytes.Buffer
+	log := NewLogger(&buf, nil, nil).With("host", "h1").WithGroup("dram")
+	log.Info("flip", "row", 4096)
+	got := strings.TrimSpace(buf.String())
+	if !strings.Contains(got, "host=h1") || !strings.Contains(got, "dram.row=4096") {
+		t.Errorf("line = %q", got)
+	}
+	// The derived handler must not have mutated the base.
+	buf.Reset()
+	NewLogger(&buf, nil, nil).Info("plain")
+	if strings.Contains(buf.String(), "host=") {
+		t.Errorf("base handler polluted: %q", buf.String())
+	}
+}
+
+func TestLogHandlerQuoting(t *testing.T) {
+	var buf bytes.Buffer
+	log := NewLogger(&buf, nil, nil)
+	log.Info("x", "empty", "", "eq", "a=b", "plain", "ok")
+	got := buf.String()
+	for _, want := range []string{`empty=""`, `eq="a=b"`, `plain=ok`} {
+		if !strings.Contains(got, want) {
+			t.Errorf("missing %q in %q", want, got)
+		}
+	}
+}
+
+func TestLogHandlerConcurrentWriters(t *testing.T) {
+	var buf bytes.Buffer
+	log := NewLogger(&buf, func() time.Duration { return time.Second }, nil)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				log.Info("tick", "worker", i, "j", j)
+			}
+		}(i)
+	}
+	wg.Wait()
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 400 {
+		t.Fatalf("lines = %d, want 400", len(lines))
+	}
+	for _, line := range lines {
+		if !strings.HasPrefix(line, "sim=1.0s level=INFO msg=tick") {
+			t.Fatalf("interleaved line: %q", line)
+		}
+	}
+}

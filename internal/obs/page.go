@@ -1,0 +1,135 @@
+package obs
+
+// statusPageHTML is the self-contained live status page: no external
+// assets, plain JS polling /api/snapshot and streaming /api/events.
+// It renders the simulated clock, per-subsystem counters, the span
+// phase timeline, and a live event log.
+const statusPageHTML = `<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>hyperhammer live observability</title>
+<style>
+  body { font: 13px/1.5 ui-monospace, SFMono-Regular, Menlo, monospace;
+         margin: 0; background: #101418; color: #d6dde4; }
+  header { padding: 12px 20px; background: #181e25; border-bottom: 1px solid #2a323c;
+           display: flex; gap: 28px; align-items: baseline; flex-wrap: wrap; }
+  header h1 { font-size: 15px; margin: 0; color: #7fd1b9; }
+  header .stat b { color: #e8b44c; }
+  main { display: grid; grid-template-columns: 1fr 1fr; gap: 16px; padding: 16px 20px; }
+  section { background: #181e25; border: 1px solid #2a323c; border-radius: 6px;
+            padding: 10px 14px; overflow: auto; max-height: 44vh; }
+  section h2 { font-size: 12px; text-transform: uppercase; letter-spacing: .08em;
+               color: #8aa0b4; margin: 2px 0 8px; }
+  table { border-collapse: collapse; width: 100%; }
+  td, th { text-align: left; padding: 1px 10px 1px 0; white-space: nowrap; }
+  td.num { text-align: right; color: #e8b44c; }
+  .phase { display: flex; align-items: center; gap: 8px; margin: 2px 0; }
+  .phase .bar { height: 9px; background: #3f7cac; border-radius: 2px; min-width: 2px; }
+  .phase.open .bar { background: #7fd1b9; }
+  .phase .lbl { min-width: 180px; }
+  #events div { border-bottom: 1px solid #222a33; padding: 1px 0; }
+  #events .k { color: #7fd1b9; }
+  #events .t { color: #8aa0b4; }
+  .muted { color: #5d6b78; }
+</style>
+</head>
+<body>
+<header>
+  <h1>hyperhammer · live plane</h1>
+  <span class="stat">sim <b id="sim">-</b></span>
+  <span class="stat">samples <b id="samples">-</b></span>
+  <span class="stat">bus <b id="bus">-</b></span>
+  <span class="stat muted" id="conn">connecting…</span>
+</header>
+<main>
+  <section><h2>phase timeline (spans, sim time)</h2><div id="phases" class="muted">no spans yet</div></section>
+  <section><h2>live events</h2><div id="events"></div></section>
+  <section style="grid-column: 1 / -1"><h2>counters &amp; gauges</h2>
+    <table id="metrics"><tbody></tbody></table></section>
+</main>
+<script>
+'use strict';
+const fmtSim = s => {
+  if (s >= 86400) return (s/86400).toFixed(1) + 'd';
+  if (s >= 3600) return (s/3600).toFixed(1) + 'h';
+  if (s >= 60) return (s/60).toFixed(1) + 'min';
+  return s.toFixed(1) + 's';
+};
+const spans = new Map();   // id -> {name, start, end}
+let maxSim = 0;
+
+function renderPhases() {
+  const el = document.getElementById('phases');
+  if (!spans.size) return;
+  const rows = [...spans.values()].slice(-40);
+  el.classList.remove('muted');
+  el.innerHTML = rows.map(s => {
+    const end = s.end ?? maxSim;
+    const w = maxSim > 0 ? Math.max(2, 100 * (end - s.start) / maxSim) : 2;
+    const off = maxSim > 0 ? 100 * s.start / maxSim : 0;
+    const dur = fmtSim(Math.max(0, end - s.start)) + (s.end == null ? ' (open)' : '');
+    return '<div class="phase' + (s.end == null ? ' open' : '') + '">' +
+      '<span class="lbl">' + s.name + ' · ' + dur + '</span>' +
+      '<span style="flex:1;position:relative;height:9px">' +
+      '<span class="bar" style="position:absolute;left:' + off + '%;width:' + w + '%"></span>' +
+      '</span></div>';
+  }).join('');
+}
+
+function onEvent(ev) {
+  maxSim = Math.max(maxSim, ev.simSeconds || 0);
+  if (ev.kind === 'span.start' && ev.data && ev.data.span != null) {
+    spans.set(ev.data.span, {name: ev.data.name, start: ev.simSeconds, end: null});
+    renderPhases();
+  } else if (ev.kind === 'span.end' && ev.data && ev.data.span != null) {
+    const s = spans.get(ev.data.span);
+    if (s) s.end = ev.simSeconds; else spans.set(ev.data.span,
+      {name: ev.data.name, start: ev.simSeconds - (ev.data.seconds || 0), end: ev.simSeconds});
+    renderPhases();
+  }
+  if (ev.kind === 'obs.sample') return; // too chatty for the log
+  const log = document.getElementById('events');
+  const d = document.createElement('div');
+  d.innerHTML = '<span class="t">' + fmtSim(ev.simSeconds || 0) + '</span> ' +
+    '<span class="k">' + ev.kind + '</span> ' +
+    (ev.data ? JSON.stringify(ev.data) : '');
+  log.prepend(d);
+  while (log.children.length > 60) log.removeChild(log.lastChild);
+}
+
+async function poll() {
+  try {
+    const [h, snap] = await Promise.all([
+      fetch('/healthz').then(r => r.json()),
+      fetch('/api/snapshot').then(r => r.json()),
+    ]);
+    document.getElementById('sim').textContent = fmtSim(h.simSeconds || 0);
+    document.getElementById('samples').textContent = h.samples;
+    document.getElementById('bus').textContent =
+      h.busPublished + ' pub / ' + h.busDropped + ' drop';
+    maxSim = Math.max(maxSim, h.simSeconds || 0);
+    const rows = [...(snap.counters || []), ...(snap.gauges || [])].map(s =>
+      '<tr><td>' + s.name + '</td><td class="muted">' +
+      (s.labels ? s.labels.join('=').replace(/=([^=]*)(?=.)/g, '=$1 ') : '-') +
+      '</td><td class="num">' + s.value + '</td></tr>');
+    document.querySelector('#metrics tbody').innerHTML = rows.join('');
+    renderPhases();
+  } catch (e) { /* server going away; the SSE handler reports it */ }
+}
+
+function connect() {
+  const es = new EventSource('/api/events');
+  es.onopen = () => document.getElementById('conn').textContent = 'live';
+  es.onmessage = m => onEvent(JSON.parse(m.data));
+  es.onerror = () => {
+    document.getElementById('conn').textContent = 'disconnected; retrying…';
+  };
+}
+connect();
+poll();
+setInterval(poll, 2000);
+</script>
+</body>
+</html>
+`

@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"time"
+
+	"hyperhammer/internal/metrics"
+	"hyperhammer/internal/simtime"
+	"hyperhammer/internal/trace"
+)
+
+// Config tunes the plane. The zero value selects usable defaults.
+type Config struct {
+	// SampleEvery is the simulated-time interval between registry
+	// snapshots (default 1 simulated second).
+	SampleEvery time.Duration
+	// SeriesCap bounds each time series' ring (default
+	// DefaultSeriesCap).
+	SeriesCap int
+	// EventKeep is how many bus events are retained for replay to
+	// late subscribers (default 256).
+	EventKeep int
+}
+
+// Plane wires a metrics registry, the trace recorder, and host clocks
+// into one live view: a sampler turns the registry into time series on
+// a simulated-time cadence, and trace events stream onto the bus. A
+// nil *Plane is a valid no-op, matching the nil registry and recorder,
+// so config threading never guards.
+type Plane struct {
+	reg   *metrics.Registry
+	bus   *Bus
+	store *Store
+	every time.Duration
+	start time.Time
+}
+
+// NewPlane creates a plane over reg (which may be nil: the plane then
+// serves empty metrics but still carries trace events).
+func NewPlane(reg *metrics.Registry, cfg Config) *Plane {
+	if cfg.SampleEvery <= 0 {
+		cfg.SampleEvery = time.Second
+	}
+	if cfg.EventKeep <= 0 {
+		cfg.EventKeep = 256
+	}
+	return &Plane{
+		reg:   reg,
+		bus:   NewBus(cfg.EventKeep),
+		store: NewStore(cfg.SeriesCap),
+		every: cfg.SampleEvery,
+		start: time.Now(),
+	}
+}
+
+// Registry returns the plane's registry (nil on a nil plane).
+func (p *Plane) Registry() *metrics.Registry {
+	if p == nil {
+		return nil
+	}
+	return p.reg
+}
+
+// Bus returns the event bus (nil on a nil plane; Bus methods tolerate
+// that).
+func (p *Plane) Bus() *Bus {
+	if p == nil {
+		return nil
+	}
+	return p.bus
+}
+
+// Store returns the time-series store (nil on a nil plane).
+func (p *Plane) Store() *Store {
+	if p == nil {
+		return nil
+	}
+	return p.store
+}
+
+// SampleEvery returns the simulated sampling interval.
+func (p *Plane) SampleEvery() time.Duration {
+	if p == nil {
+		return 0
+	}
+	return p.every
+}
+
+// SimNow returns the bound registry clock's reading (zero without a
+// registry), the plane's notion of "now" for log stamping.
+func (p *Plane) SimNow() time.Duration {
+	if p == nil {
+		return 0
+	}
+	return p.reg.SimTime()
+}
+
+// Uptime returns the wall-clock age of the plane.
+func (p *Plane) Uptime() time.Duration {
+	if p == nil {
+		return 0
+	}
+	return time.Since(p.start)
+}
+
+// BindClock installs the periodic sampler on a simulated clock.
+// kvm.NewHost calls this at boot for the configured plane, so every
+// host a campaign or experiment boots feeds the same series store.
+// An immediate sample anchors each series at the host's t=0. Safe on
+// a nil receiver and a nil clock.
+func (p *Plane) BindClock(c *simtime.Clock) {
+	if p == nil || c == nil {
+		return
+	}
+	p.sample()
+	c.OnTick(p.every, func(time.Duration) { p.sample() })
+}
+
+// sample snapshots the registry into the store and announces it on the
+// bus.
+func (p *Plane) sample() {
+	snap := p.reg.Snapshot()
+	p.store.Record(snap)
+	p.bus.Publish("obs.sample", snap.SimSeconds, map[string]any{
+		"sample":   p.store.Samples(),
+		"counters": len(snap.Counters),
+		"gauges":   len(snap.Gauges),
+	})
+}
+
+// TapTrace streams every event the recorder emits onto the plane's
+// bus, timestamps converted to seconds. Safe on a nil receiver (the
+// recorder keeps whatever sink it had).
+func (p *Plane) TapTrace(r *trace.Recorder) {
+	if p == nil {
+		return
+	}
+	r.SetSink(func(ev trace.Event) {
+		sim := 0.0
+		if d, err := time.ParseDuration(ev.SimTime); err == nil {
+			sim = d.Seconds()
+		}
+		p.bus.Publish(ev.Kind, sim, ev.Data)
+	})
+}

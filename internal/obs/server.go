@@ -1,0 +1,179 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Server is the plane's HTTP front end.
+//
+// Endpoints:
+//
+//	/              embedded HTML status page
+//	/healthz       liveness + plane stats (JSON)
+//	/metrics       Prometheus text exposition of the registry
+//	/api/snapshot  JSON metrics snapshot
+//	/api/series    ring-buffered sim-time series (?name= filters)
+//	/api/events    live SSE stream off the event bus (recent events
+//	               replayed first)
+//	/debug/pprof/  the standard Go profiler endpoints
+type Server struct {
+	plane *Plane
+	ln    net.Listener
+	srv   *http.Server
+}
+
+// Serve starts the plane's HTTP server on addr (":0" picks a free
+// port) and serves in a background goroutine until Close.
+func (p *Plane) Serve(addr string) (*Server, error) {
+	if p == nil {
+		return nil, fmt.Errorf("obs: serve on a nil plane")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	s := &Server{plane: p, ln: ln}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleIndex)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/api/snapshot", s.handleSnapshot)
+	mux.HandleFunc("/api/series", s.handleSeries)
+	mux.HandleFunc("/api/events", s.handleEvents)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	go s.srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
+	return s, nil
+}
+
+// Addr returns the server's listen address (useful with ":0").
+func (s *Server) Addr() string {
+	if s == nil || s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close shuts the server down immediately, unblocking any SSE
+// streams.
+func (s *Server) Close() error {
+	if s == nil || s.srv == nil {
+		return nil
+	}
+	return s.srv.Close()
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, statusPageHTML)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	published, dropped, subs := s.plane.Bus().Stats()
+	writeJSON(w, map[string]any{
+		"ok":            true,
+		"simSeconds":    s.plane.SimNow().Seconds(),
+		"uptimeSeconds": s.plane.Uptime().Seconds(),
+		"samples":       s.plane.Store().Samples(),
+		"busPublished":  published,
+		"busDropped":    dropped,
+		"busSubs":       subs,
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.plane.Registry().WriteProm(w) //nolint:errcheck // client went away
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	s.plane.Registry().WriteJSON(w) //nolint:errcheck // client went away
+}
+
+func (s *Server) handleSeries(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("name")
+	series := s.plane.Store().Series(name)
+	if series == nil {
+		series = []SeriesData{}
+	}
+	writeJSON(w, map[string]any{
+		"simSeconds": s.plane.SimNow().Seconds(),
+		"samples":    s.plane.Store().Samples(),
+		"series":     series,
+	})
+}
+
+// handleEvents streams the bus over SSE: the replay ring first, then
+// live events until the client disconnects or the server closes.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+
+	sub := s.plane.Bus().Subscribe(512)
+	defer sub.Cancel()
+
+	write := func(ev Event) bool {
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return true // skip unencodable event, keep the stream
+		}
+		if _, err := fmt.Fprintf(w, "data: %s\n\n", b); err != nil {
+			return false
+		}
+		return true
+	}
+	// Replay before going live; events published between Recent and
+	// Subscribe-drain may duplicate, which SSE consumers dedupe by seq.
+	lastSeq := uint64(0)
+	for _, ev := range s.plane.Bus().Recent() {
+		if !write(ev) {
+			return
+		}
+		lastSeq = ev.Seq
+	}
+	flusher.Flush()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev, ok := <-sub.Events():
+			if !ok {
+				return
+			}
+			if ev.Seq <= lastSeq {
+				continue // already replayed
+			}
+			if !write(ev) {
+				return
+			}
+			flusher.Flush()
+		}
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client went away
+}

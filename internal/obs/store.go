@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"sort"
+	"strings"
+	"sync"
+
+	"hyperhammer/internal/metrics"
+)
+
+// Point is one sampled value of a series.
+type Point struct {
+	// SimSeconds is the simulated clock reading at the sample. When
+	// several hosts share one plane (hh-tables), each host restarts
+	// the simulated clock, so SimSeconds is monotonic only within one
+	// host's lifetime; Sample is globally monotonic.
+	SimSeconds float64 `json:"t"`
+	// Value is the series value at the sample.
+	Value float64 `json:"v"`
+	// Sample is the global sample number the point was taken in.
+	Sample uint64 `json:"n"`
+}
+
+// SeriesData is one series' retained points, oldest first.
+type SeriesData struct {
+	Name   string   `json:"name"`
+	Labels []string `json:"labels,omitempty"` // alternating key/value
+	Kind   string   `json:"kind"`
+	Points []Point  `json:"points"`
+}
+
+// storedSeries is one series' ring buffer.
+type storedSeries struct {
+	name   string
+	labels []string
+	kind   string
+	ring   []Point // fixed capacity once full
+	next   int     // insertion index when the ring is full
+	full   bool
+}
+
+func (ss *storedSeries) add(p Point, cap int) {
+	if !ss.full {
+		ss.ring = append(ss.ring, p)
+		if len(ss.ring) >= cap {
+			ss.full = true
+			ss.next = 0
+		}
+		return
+	}
+	ss.ring[ss.next] = p
+	ss.next = (ss.next + 1) % len(ss.ring)
+}
+
+func (ss *storedSeries) points() []Point {
+	if !ss.full {
+		out := make([]Point, len(ss.ring))
+		copy(out, ss.ring)
+		return out
+	}
+	out := make([]Point, 0, len(ss.ring))
+	out = append(out, ss.ring[ss.next:]...)
+	out = append(out, ss.ring[:ss.next]...)
+	return out
+}
+
+// Store retains a bounded time series per metric: every Record appends
+// the current value of each counter and gauge (and each histogram's
+// _count and _sum) to a per-series ring. All methods are safe for
+// concurrent use and no-op on a nil receiver.
+type Store struct {
+	mu      sync.Mutex
+	cap     int
+	series  map[string]*storedSeries
+	samples uint64
+}
+
+// DefaultSeriesCap bounds each series' ring when the configuration
+// doesn't: enough resolution for a multi-day campaign timeline without
+// unbounded growth.
+const DefaultSeriesCap = 720
+
+// NewStore creates a store keeping at most capPerSeries points per
+// series (<= 0 selects DefaultSeriesCap).
+func NewStore(capPerSeries int) *Store {
+	if capPerSeries <= 0 {
+		capPerSeries = DefaultSeriesCap
+	}
+	return &Store{cap: capPerSeries, series: make(map[string]*storedSeries)}
+}
+
+// Record appends one point per series in the snapshot. Histograms
+// contribute two derived series, name_count and name_sum.
+func (s *Store) Record(snap metrics.Snapshot) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.samples++
+	t := snap.SimSeconds
+	for _, c := range snap.Counters {
+		s.add(c.Name, c.Labels, "counter", t, c.Value)
+	}
+	for _, g := range snap.Gauges {
+		s.add(g.Name, g.Labels, "gauge", t, g.Value)
+	}
+	for _, h := range snap.Histograms {
+		s.add(h.Name+"_count", h.Labels, "histogram", t, float64(h.Count))
+		s.add(h.Name+"_sum", h.Labels, "histogram", t, h.Sum)
+	}
+}
+
+// add records one point under the store's lock.
+func (s *Store) add(name string, labels []string, kind string, t, v float64) {
+	key := name + "\xff" + strings.Join(labels, "\xfe")
+	ss, ok := s.series[key]
+	if !ok {
+		ss = &storedSeries{name: name, labels: labels, kind: kind}
+		s.series[key] = ss
+	}
+	ss.add(Point{SimSeconds: t, Value: v, Sample: s.samples}, s.cap)
+}
+
+// Samples returns how many snapshots were recorded.
+func (s *Store) Samples() uint64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.samples
+}
+
+// Series returns the retained series, deterministically ordered by
+// name then label signature. A non-empty name filters to that metric
+// (histogram-derived series match their base name too, so
+// name=foo returns foo_count and foo_sum for a histogram foo).
+func (s *Store) Series(name string) []SeriesData {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []SeriesData
+	for _, ss := range s.series {
+		if name != "" && ss.name != name &&
+			ss.name != name+"_count" && ss.name != name+"_sum" {
+			continue
+		}
+		out = append(out, SeriesData{
+			Name:   ss.name,
+			Labels: ss.labels,
+			Kind:   ss.kind,
+			Points: ss.points(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return strings.Join(out[i].Labels, ",") < strings.Join(out[j].Labels, ",")
+	})
+	return out
+}

@@ -1,0 +1,145 @@
+package report_test
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"hyperhammer/internal/metrics"
+	"hyperhammer/internal/report"
+	"hyperhammer/internal/simtime"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenRegistry builds a fixed registry covering every series kind,
+// label shapes, and the float formats the table must render stably.
+func goldenRegistry() *metrics.Registry {
+	reg := metrics.New()
+	clock := &simtime.Clock{}
+	reg.BindClock(clock)
+	clock.Advance(90*time.Minute + 30*time.Second)
+
+	reg.Counter("dram_activations_total", "Row activations issued.").Add(57_056_000_000)
+	reg.Counter("attack_attempts_total", "Attempts run.").Add(33)
+	reg.Gauge("vms_live", "Live VMs.").Set(1)
+	reg.Gauge("buddy_free_pages", "Free pages.").Set(61_503)
+	reg.Counter("virtio_unplug_total", "Unplugs.", "result", "ack").Add(96)
+	reg.Counter("virtio_unplug_total", "Unplugs.", "result", "nack").Add(3)
+	h := reg.Histogram("attack_phase_seconds", "Phase timing.",
+		[]float64{60, 300, 3600}, "phase", "steer")
+	h.Observe(42)
+	h.Observe(180)
+	h.Observe(7200)
+	return reg
+}
+
+// TestMetricsTableGolden pins the exact rendering of the end-of-run
+// -metrics-table output. Regenerate with `go test ./internal/report
+// -run TestMetricsTableGolden -update` after intentional changes.
+func TestMetricsTableGolden(t *testing.T) {
+	got := report.MetricsTable(goldenRegistry().Snapshot()).String()
+	golden := filepath.Join("testdata", "metrics_table.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if got != string(want) {
+		t.Errorf("metrics table drifted from golden file:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestRowsAgreeWithPromExporter round-trips every series: the values
+// the human-readable table prints must be exactly the values the
+// Prometheus endpoint serves.
+func TestRowsAgreeWithPromExporter(t *testing.T) {
+	reg := goldenRegistry()
+	var buf bytes.Buffer
+	if err := reg.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Parse the exposition text into name+sortedLabels -> value.
+	prom := map[string]string{}
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("unparseable prom line %q", line)
+		}
+		prom[line[:sp]] = line[sp+1:]
+	}
+
+	promKey := func(name, labels string) string {
+		if labels == "-" {
+			return name
+		}
+		var parts []string
+		for _, kv := range strings.Split(labels, ",") {
+			k, v, _ := strings.Cut(kv, "=")
+			parts = append(parts, k+`="`+v+`"`)
+		}
+		return name + "{" + strings.Join(parts, ",") + "}"
+	}
+
+	rows := reg.Snapshot().Rows()
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, r := range rows {
+		name, labels, kind, value := r[0], r[1], r[2], r[3]
+		switch kind {
+		case "counter", "gauge":
+			got, ok := prom[promKey(name, labels)]
+			if !ok {
+				t.Errorf("series %s{%s} missing from prom output", name, labels)
+				continue
+			}
+			if got != value {
+				t.Errorf("%s{%s}: table says %s, prom says %s", name, labels, value, got)
+			}
+		case "histogram":
+			// Table value is "count=N sum=S"; prom serves name_count
+			// and name_sum.
+			var count, sum string
+			for _, f := range strings.Fields(value) {
+				if v, ok := strings.CutPrefix(f, "count="); ok {
+					count = v
+				}
+				if v, ok := strings.CutPrefix(f, "sum="); ok {
+					sum = v
+				}
+			}
+			if got := prom[promKey(name+"_count", labels)]; got != count {
+				t.Errorf("%s_count{%s}: table %s, prom %s", name, labels, count, got)
+			}
+			if got := prom[promKey(name+"_sum", labels)]; got != sum {
+				t.Errorf("%s_sum{%s}: table %s, prom %s", name, labels, sum, got)
+			}
+		default:
+			t.Errorf("unknown kind %q", kind)
+		}
+	}
+	// And sim_seconds, which only the exporter synthesizes, matches the
+	// snapshot's clock reading.
+	if got := prom["sim_seconds"]; got == "" {
+		t.Error("sim_seconds missing from prom output")
+	} else if v, err := strconv.ParseFloat(got, 64); err != nil || v != 5430 {
+		t.Errorf("sim_seconds = %q, want 5430", got)
+	}
+}

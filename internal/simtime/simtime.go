@@ -11,6 +11,7 @@ package simtime
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 )
 
@@ -59,16 +60,44 @@ const (
 )
 
 // Clock is a monotonic virtual clock. The zero value is a clock at
-// time zero, ready to use. Clock is not safe for concurrent use; the
-// simulation is single-threaded by design (determinism, Section 3 of
-// DESIGN.md).
+// time zero, ready to use. The clock is single-writer: Advance,
+// Charge, OnTick and Reset must all be called from the one simulating
+// goroutine (determinism, Section 3 of DESIGN.md), but Now is safe
+// from any goroutine — the live observability plane reads the clock
+// while the simulation runs. Tick hooks run on the simulating
+// goroutine, inside Advance.
 type Clock struct {
-	now time.Duration
+	now    atomic.Int64 // nanoseconds
+	ticks  []*tick
+	firing bool
+}
+
+// tick is one registered periodic hook.
+type tick struct {
+	every time.Duration
+	next  time.Duration
+	fn    func(now time.Duration)
 }
 
 // Now returns the current virtual time as a duration since the clock's
-// epoch.
-func (c *Clock) Now() time.Duration { return c.now }
+// epoch. Safe for concurrent use.
+func (c *Clock) Now() time.Duration { return time.Duration(c.now.Load()) }
+
+// OnTick registers fn to run whenever the clock crosses a multiple of
+// every. A single Advance that jumps several boundaries fires fn once,
+// at the post-advance reading — periodic observers want the latest
+// state, not a replay of skipped intervals. fn runs on the simulating
+// goroutine and must not advance the clock; hooks registered while a
+// hook is firing take effect on the next Advance.
+func (c *Clock) OnTick(every time.Duration, fn func(now time.Duration)) {
+	if every <= 0 || fn == nil {
+		return
+	}
+	// First boundary strictly after the current reading.
+	now := c.Now()
+	next := now - now%every + every
+	c.ticks = append(c.ticks, &tick{every: every, next: next, fn: fn})
+}
 
 // Advance moves the clock forward by d. Negative d panics: the clock
 // is monotonic and a negative charge is always a bookkeeping bug.
@@ -76,7 +105,19 @@ func (c *Clock) Advance(d time.Duration) {
 	if d < 0 {
 		panic(fmt.Sprintf("simtime: negative advance %v", d))
 	}
-	c.now += d
+	now := time.Duration(c.now.Load()) + d
+	c.now.Store(int64(now))
+	if c.firing {
+		return // a hook advanced the clock; boundaries fire next Advance
+	}
+	c.firing = true
+	for _, t := range c.ticks {
+		if now >= t.next {
+			t.next = now - now%t.every + t.every
+			t.fn(now)
+		}
+	}
+	c.firing = false
 }
 
 // Charge advances the clock by n repetitions of a unit cost.
@@ -87,14 +128,20 @@ func (c *Clock) Charge(n int64, unit time.Duration) {
 	}
 	total := time.Duration(n) * unit
 	if total/unit != time.Duration(n) { // overflow
-		total = 1<<63 - 1 - c.now
+		total = 1<<63 - 1 - c.Now()
 	}
 	c.Advance(total)
 }
 
 // Reset rewinds the clock to zero. Only meant for reusing a machine
-// across benchmark iterations.
-func (c *Clock) Reset() { c.now = 0 }
+// across benchmark iterations. Registered tick hooks survive, rewound
+// to their first boundary.
+func (c *Clock) Reset() {
+	c.now.Store(0)
+	for _, t := range c.ticks {
+		t.next = t.every
+	}
+}
 
 // Stopwatch measures elapsed virtual time between two points.
 type Stopwatch struct {

@@ -44,6 +44,78 @@ func TestChargeOverflowSaturates(t *testing.T) {
 	}
 }
 
+func TestOnTickFiresOnBoundaries(t *testing.T) {
+	var c Clock
+	var fired []time.Duration
+	c.OnTick(time.Second, func(now time.Duration) { fired = append(fired, now) })
+
+	c.Advance(400 * time.Millisecond) // 0.4s: below first boundary
+	if len(fired) != 0 {
+		t.Fatalf("fired early: %v", fired)
+	}
+	c.Advance(700 * time.Millisecond) // 1.1s: crossed 1s
+	c.Advance(100 * time.Millisecond) // 1.2s: no new boundary
+	c.Advance(3 * time.Second)        // 4.2s: crossed 2s..4s, fires once
+	want := []time.Duration{1100 * time.Millisecond, 4200 * time.Millisecond}
+	if len(fired) != len(want) || fired[0] != want[0] || fired[1] != want[1] {
+		t.Errorf("fired = %v, want %v", fired, want)
+	}
+	// Next boundary after 4.2s is 5s.
+	c.Advance(800 * time.Millisecond)
+	if len(fired) != 3 || fired[2] != 5*time.Second {
+		t.Errorf("post-jump firing = %v", fired)
+	}
+}
+
+func TestOnTickExactBoundary(t *testing.T) {
+	var c Clock
+	n := 0
+	c.OnTick(time.Second, func(time.Duration) { n++ })
+	c.Advance(time.Second)
+	c.Advance(time.Second)
+	if n != 2 {
+		t.Errorf("fired %d times, want 2", n)
+	}
+}
+
+func TestOnTickIgnoresBadArgs(t *testing.T) {
+	var c Clock
+	c.OnTick(0, func(time.Duration) {})
+	c.OnTick(time.Second, nil)
+	c.Advance(time.Hour) // must not panic or fire anything
+}
+
+func TestOnTickHookAdvanceDoesNotRecurse(t *testing.T) {
+	var c Clock
+	n := 0
+	c.OnTick(time.Second, func(time.Duration) {
+		n++
+		if n < 3 {
+			c.Advance(5 * time.Second) // misbehaving hook: must not recurse
+		}
+	})
+	c.Advance(time.Second)
+	if n != 1 {
+		t.Errorf("hook fired %d times within one Advance, want 1", n)
+	}
+}
+
+func TestResetRewindsTicks(t *testing.T) {
+	var c Clock
+	n := 0
+	c.OnTick(time.Minute, func(time.Duration) { n++ })
+	c.Advance(time.Minute)
+	c.Reset()
+	c.Advance(30 * time.Second)
+	if n != 1 {
+		t.Errorf("fired %d, want 1 (reset should rewind boundary)", n)
+	}
+	c.Advance(30 * time.Second)
+	if n != 2 {
+		t.Errorf("fired %d, want 2 after crossing rewound boundary", n)
+	}
+}
+
 func TestStopwatch(t *testing.T) {
 	var c Clock
 	c.Advance(time.Minute)

@@ -41,13 +41,13 @@ type Recorder struct {
 	seq   uint64
 	// keep retains the most recent events in memory for tests and
 	// programmatic inspection (0 disables).
-	keep   int
-	recent []Event
-	errs   int
-	// open tracks currently open span IDs, innermost last, so a new
-	// span nests under whatever is open.
+	keep     int
+	recent   []Event
+	errs     int
 	nextSpan uint64
-	open     []uint64
+	// sink, when set, receives a copy of every event after it is
+	// recorded (the live observability tap).
+	sink func(Event)
 }
 
 // New creates a recorder writing JSON lines to w (which may be nil for
@@ -72,6 +72,20 @@ func (r *Recorder) BindClock(c *simtime.Clock) {
 	}
 }
 
+// SetSink installs fn as a live tap: every subsequently recorded event
+// is also passed to fn, after the recorder's own lock is released (so
+// fn may call back into the recorder, though recursing from a sink is
+// usually a mistake). A nil fn removes the tap. Safe on a nil
+// receiver.
+func (r *Recorder) SetSink(fn func(Event)) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.sink = fn
+	r.mu.Unlock()
+}
+
 // Emit records one event. kv lists alternating keys and values; a
 // trailing odd key gets the value nil. Safe on a nil receiver.
 func (r *Recorder) Emit(kind string, kv ...any) {
@@ -80,8 +94,12 @@ func (r *Recorder) Emit(kind string, kv ...any) {
 	}
 	data := buildData(kv)
 	r.mu.Lock()
-	r.emitLocked(kind, data)
+	ev := r.emitLocked(kind, data)
+	sink := r.sink
 	r.mu.Unlock()
+	if sink != nil {
+		sink(ev)
+	}
 }
 
 // buildData converts alternating key/value pairs into an event's Data
@@ -105,8 +123,9 @@ func buildData(kv []any) map[string]any {
 	return data
 }
 
-// emitLocked stamps, writes, and retains one event. Caller holds r.mu.
-func (r *Recorder) emitLocked(kind string, data map[string]any) {
+// emitLocked stamps, writes, and retains one event, returning it for
+// the sink. Caller holds r.mu.
+func (r *Recorder) emitLocked(kind string, data map[string]any) Event {
 	r.seq++
 	simNow := time.Duration(0)
 	if r.clock != nil {
@@ -129,6 +148,7 @@ func (r *Recorder) emitLocked(kind string, data map[string]any) {
 			r.recent = r.recent[len(r.recent)-r.keep:]
 		}
 	}
+	return ev
 }
 
 // normalize converts values that encode poorly into plain
@@ -170,6 +190,29 @@ func (r *Recorder) Count() uint64 {
 	return r.seq
 }
 
+// Flush pushes buffered events down to the underlying writer: if the
+// recorder's writer implements Flush() error (e.g. *bufio.Writer) it is
+// flushed, and a flush failure counts as an encode error. CLIs call
+// this on every exit path — os.Exit skips defers, and a buffered tail
+// of a trace is exactly the part that explains a crash. Safe on a nil
+// receiver.
+func (r *Recorder) Flush() error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.w.(interface{ Flush() error })
+	if !ok {
+		return nil
+	}
+	if err := f.Flush(); err != nil {
+		r.errs++
+		return err
+	}
+	return nil
+}
+
 // EncodeErrors returns how many events failed to serialize or write.
 func (r *Recorder) EncodeErrors() int {
 	if r == nil {
@@ -190,27 +233,40 @@ type Span struct {
 	start  time.Duration
 }
 
-// StartSpan opens a phase span named name and emits a "span.start"
-// event carrying the span ID, its parent span ID (0 when top-level —
-// spans nest under whichever span is currently open), and any extra
-// key/value pairs. Safe on a nil receiver, returning a nil span.
+// StartSpan opens a top-level phase span named name and emits a
+// "span.start" event carrying the span ID and any extra key/value
+// pairs. Nesting is explicit: child spans are opened with
+// Span.StartChild, never inferred from what happens to be open, so
+// spans started concurrently from different goroutines cannot corrupt
+// each other's ancestry. Safe on a nil receiver, returning a nil span.
 func (r *Recorder) StartSpan(name string, kv ...any) *Span {
 	if r == nil {
 		return nil
 	}
+	return r.startSpan(0, name, kv)
+}
+
+// StartChild opens a span nested under s, emitting a "span.start"
+// event whose parent field is s's span ID. Safe on a nil receiver,
+// returning a nil span, so call chains off a disabled recorder stay
+// guard-free.
+func (s *Span) StartChild(name string, kv ...any) *Span {
+	if s == nil || s.r == nil {
+		return nil
+	}
+	return s.r.startSpan(s.id, name, kv)
+}
+
+// startSpan allocates a span under the given parent ID (0 for roots)
+// and emits its start event.
+func (r *Recorder) startSpan(parent uint64, name string, kv []any) *Span {
 	data := buildData(kv)
 	if data == nil {
 		data = make(map[string]any, 3)
 	}
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	r.nextSpan++
 	id := r.nextSpan
-	parent := uint64(0)
-	if n := len(r.open); n > 0 {
-		parent = r.open[n-1]
-	}
-	r.open = append(r.open, id)
 	start := time.Duration(0)
 	if r.clock != nil {
 		start = r.clock.Now()
@@ -220,7 +276,12 @@ func (r *Recorder) StartSpan(name string, kv ...any) *Span {
 	if parent != 0 {
 		data["parent"] = parent
 	}
-	r.emitLocked("span.start", data)
+	ev := r.emitLocked("span.start", data)
+	sink := r.sink
+	r.mu.Unlock()
+	if sink != nil {
+		sink(ev)
+	}
 	return &Span{r: r, id: id, parent: parent, name: name, start: start}
 }
 
@@ -237,7 +298,6 @@ func (s *Span) End(kv ...any) {
 		data = make(map[string]any, 4)
 	}
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	now := time.Duration(0)
 	if r.clock != nil {
 		now = r.clock.Now()
@@ -250,14 +310,11 @@ func (s *Span) End(kv ...any) {
 	}
 	data["durSim"] = dur.Round(time.Millisecond).String()
 	data["seconds"] = dur.Seconds()
-	r.emitLocked("span.end", data)
-	// Drop the span from the open stack (search from the top: spans
-	// normally close LIFO).
-	for i := len(r.open) - 1; i >= 0; i-- {
-		if r.open[i] == s.id {
-			r.open = append(r.open[:i], r.open[i+1:]...)
-			break
-		}
+	ev := r.emitLocked("span.end", data)
+	sink := r.sink
+	r.mu.Unlock()
+	if sink != nil {
+		sink(ev)
 	}
 }
 

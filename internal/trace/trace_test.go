@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"errors"
@@ -103,7 +104,7 @@ func TestSpanNesting(t *testing.T) {
 
 	outer := r.StartSpan("outer", "k", 1)
 	clock.Advance(2 * time.Second)
-	inner := r.StartSpan("inner")
+	inner := outer.StartChild("inner")
 	clock.Advance(3 * time.Second)
 	inner.End("ok", true)
 	outer.End()
@@ -136,15 +137,62 @@ func TestSpanNesting(t *testing.T) {
 func TestSpanSiblingsShareParent(t *testing.T) {
 	r := New(nil, 10)
 	root := r.StartSpan("root")
-	a := r.StartSpan("a")
+	a := root.StartChild("a")
 	a.End()
-	b := r.StartSpan("b")
+	b := root.StartChild("b")
 	b.End()
 	root.End()
 	evs := r.Recent()
 	// events: root.start a.start a.end b.start b.end root.end
 	if evs[3].Data["parent"] != root.id {
 		t.Errorf("sibling b parent = %v, want %d", evs[3].Data["parent"], root.id)
+	}
+}
+
+func TestUnrelatedSpansStayRoots(t *testing.T) {
+	r := New(nil, 10)
+	a := r.StartSpan("a")
+	b := r.StartSpan("b") // opened while a is open — NOT a child of a
+	for _, ev := range r.Recent() {
+		if _, has := ev.Data["parent"]; has {
+			t.Errorf("independent span got a parent: %+v", ev.Data)
+		}
+	}
+	b.End()
+	a.End()
+}
+
+// TestConcurrentParentAttribution is the regression test for the
+// shared-open-stack bug: spans started on one goroutine must never be
+// attributed to a span another goroutine happens to have open.
+func TestConcurrentParentAttribution(t *testing.T) {
+	r := New(nil, 0)
+	const workers = 8
+	const each = 100
+	type rec struct{ parent, child uint64 }
+	got := make([][]rec, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				p := r.StartSpan("p")
+				c := p.StartChild("c")
+				got[w] = append(got[w], rec{parent: p.id, child: c.parent})
+				c.End()
+				p.End()
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w, recs := range got {
+		for i, rc := range recs {
+			if rc.child != rc.parent {
+				t.Fatalf("worker %d iter %d: child attributed to span %d, want %d",
+					w, i, rc.child, rc.parent)
+			}
+		}
 	}
 }
 
@@ -155,8 +203,66 @@ func TestNilSpanIsSafe(t *testing.T) {
 		t.Fatal("nil recorder returned non-nil span")
 	}
 	span.End("k", 2) // must not panic
+	if child := span.StartChild("y"); child != nil {
+		t.Fatal("nil span returned non-nil child")
+	}
 	if span.Duration() != 0 {
 		t.Error("nil span has duration")
+	}
+}
+
+func TestSinkReceivesEveryEvent(t *testing.T) {
+	r := New(nil, 0)
+	var mu sync.Mutex
+	var kinds []string
+	r.SetSink(func(ev Event) {
+		mu.Lock()
+		kinds = append(kinds, ev.Kind)
+		mu.Unlock()
+	})
+	r.Emit("plain")
+	s := r.StartSpan("s")
+	c := s.StartChild("c")
+	c.End()
+	s.End()
+	want := []string{"plain", "span.start", "span.start", "span.end", "span.end"}
+	if len(kinds) != len(want) {
+		t.Fatalf("sink saw %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("sink saw %v, want %v", kinds, want)
+		}
+	}
+	r.SetSink(nil)
+	r.Emit("after")
+	if len(kinds) != len(want) {
+		t.Error("removed sink still receiving")
+	}
+	var nilRec *Recorder
+	nilRec.SetSink(func(Event) {}) // must not panic
+}
+
+func TestFlushFlushesBufferedWriter(t *testing.T) {
+	var buf bytes.Buffer
+	bw := bufio.NewWriterSize(&buf, 1<<16)
+	r := New(bw, 0)
+	r.Emit("e", "k", 1)
+	if buf.Len() != 0 {
+		t.Skip("event larger than buffer; nothing to test")
+	}
+	if err := r.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Error("Flush did not reach the underlying writer")
+	}
+	var nilRec *Recorder
+	if err := nilRec.Flush(); err != nil {
+		t.Error("nil recorder Flush errored")
+	}
+	if err := New(nil, 0).Flush(); err != nil {
+		t.Error("unbuffered recorder Flush errored")
 	}
 }
 
