@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race vet bench bench-short tables demo fuzz clean
+.PHONY: all build test test-short test-race vet bench bench-short tables demo fuzz profile-gate clean
 
 all: build vet test
 
@@ -46,6 +46,18 @@ tables:
 demo:
 	$(GO) run ./cmd/hyperhammer -short
 
+# Regression gate: record a short deterministic run's artifact and
+# compare it against the committed baseline with hh-diff. Simulated
+# figures are seed-deterministic, so the tolerances below are already
+# generous; a FAIL means behavior changed — either fix the regression
+# or regenerate the baseline (same command as below with the output
+# path pointed at testdata/baselines/short-seed4.json) and review the
+# diff. The campaign's own exit status is ignored: 2 attempts rarely
+# escape, and the artifact is written on every exit path.
+profile-gate: build
+	$(GO) run ./cmd/hyperhammer -short -attempts 2 -artifact run_artifact.json > /dev/null; test -s run_artifact.json
+	$(GO) run ./cmd/hh-diff -sim-tol 0.05 -count-tol 0.05 testdata/baselines/short-seed4.json run_artifact.json
+
 # Brief fuzzing pass over the fuzz targets.
 fuzz:
 	$(GO) test -fuzz=FuzzAllocFreeSequence -fuzztime=20s ./internal/buddy/
@@ -55,4 +67,4 @@ fuzz:
 
 clean:
 	$(GO) clean ./...
-	rm -f test_output.txt bench_output.txt BENCH_full.json BENCH_short.json
+	rm -f test_output.txt bench_output.txt BENCH_short.json run_artifact.json

@@ -1,7 +1,10 @@
 // Command hh-benchjson converts `go test -bench` text output into a
 // machine-readable JSON document, so CI can archive benchmark results
 // (including the custom sim-time metrics the harness reports via
-// b.ReportMetric) and diff them across commits.
+// b.ReportMetric) and diff them across commits with cmd/hh-diff.
+//
+// Parsing and the document schema live in internal/benchfmt, shared
+// with hh-diff; this command is the thin write-side wrapper.
 //
 // Usage:
 //
@@ -10,42 +13,13 @@
 package main
 
 import (
-	"bufio"
 	"encoding/json"
 	"fmt"
 	"io"
 	"os"
-	"strconv"
-	"strings"
-	"time"
+
+	"hyperhammer/internal/benchfmt"
 )
-
-// Benchmark is one parsed benchmark result line.
-type Benchmark struct {
-	// Name is the benchmark name without the -P GOMAXPROCS suffix.
-	Name string `json:"name"`
-	// Procs is the GOMAXPROCS the benchmark ran under.
-	Procs int `json:"procs"`
-	// Runs is the iteration count (b.N).
-	Runs int64 `json:"runs"`
-	// Metrics maps unit to value: ns/op, B/op, allocs/op, and any
-	// custom units from b.ReportMetric (e.g. sim_hours/profile).
-	Metrics map[string]float64 `json:"metrics"`
-}
-
-// Output is the whole document.
-type Output struct {
-	// GeneratedAt is the wall-clock parse time (RFC 3339).
-	GeneratedAt string `json:"generatedAt"`
-	// Goos/Goarch/Pkg/CPU echo the `go test` header lines when present.
-	Goos   string `json:"goos,omitempty"`
-	Goarch string `json:"goarch,omitempty"`
-	Pkg    string `json:"pkg,omitempty"`
-	CPU    string `json:"cpu,omitempty"`
-	// Ok reports whether a final "ok" line was seen (the run completed).
-	Ok         bool        `json:"ok"`
-	Benchmarks []Benchmark `json:"benchmarks"`
-}
 
 func main() {
 	outPath := ""
@@ -67,7 +41,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	out, err := Parse(in)
+	out, err := benchfmt.Parse(in)
 	if err != nil {
 		fatal(err)
 	}
@@ -88,77 +62,6 @@ func main() {
 	if len(out.Benchmarks) == 0 {
 		fmt.Fprintln(os.Stderr, "hh-benchjson: warning: no benchmark lines found")
 	}
-}
-
-// Parse reads `go test -bench` output and extracts every benchmark
-// line plus the run headers. Lines it doesn't recognize (test logs,
-// PASS markers) are skipped; benchmarks are passed through to the
-// document in input order.
-func Parse(r io.Reader) (*Output, error) {
-	out := &Output{
-		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
-		Benchmarks:  []Benchmark{},
-	}
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		switch {
-		case strings.HasPrefix(line, "goos: "):
-			out.Goos = strings.TrimPrefix(line, "goos: ")
-		case strings.HasPrefix(line, "goarch: "):
-			out.Goarch = strings.TrimPrefix(line, "goarch: ")
-		case strings.HasPrefix(line, "pkg: "):
-			out.Pkg = strings.TrimPrefix(line, "pkg: ")
-		case strings.HasPrefix(line, "cpu: "):
-			out.CPU = strings.TrimPrefix(line, "cpu: ")
-		case strings.HasPrefix(line, "ok "):
-			out.Ok = true
-		case strings.HasPrefix(line, "Benchmark"):
-			if b, ok := parseBench(line); ok {
-				out.Benchmarks = append(out.Benchmarks, b)
-			}
-		}
-	}
-	return out, sc.Err()
-}
-
-// parseBench parses one result line:
-//
-//	BenchmarkName-8  3  123456 ns/op  42.5 sim_hours/profile  16 B/op  2 allocs/op
-func parseBench(line string) (Benchmark, bool) {
-	fields := strings.Fields(line)
-	if len(fields) < 4 || len(fields)%2 != 0 {
-		return Benchmark{}, false
-	}
-	name, procs := splitProcs(fields[0])
-	runs, err := strconv.ParseInt(fields[1], 10, 64)
-	if err != nil {
-		return Benchmark{}, false
-	}
-	b := Benchmark{Name: name, Procs: procs, Runs: runs, Metrics: map[string]float64{}}
-	for i := 2; i+1 < len(fields); i += 2 {
-		v, err := strconv.ParseFloat(fields[i], 64)
-		if err != nil {
-			return Benchmark{}, false
-		}
-		b.Metrics[fields[i+1]] = v
-	}
-	return b, true
-}
-
-// splitProcs splits the trailing -N GOMAXPROCS suffix off a benchmark
-// name (absent when GOMAXPROCS=1).
-func splitProcs(name string) (string, int) {
-	i := strings.LastIndexByte(name, '-')
-	if i < 0 {
-		return name, 1
-	}
-	n, err := strconv.Atoi(name[i+1:])
-	if err != nil || n <= 0 {
-		return name, 1
-	}
-	return name[:i], n
 }
 
 func fatal(err error) {

@@ -1,81 +1,29 @@
 package main
 
+// Parsing behavior is covered in internal/benchfmt, where the
+// implementation lives. This file intentionally keeps only what is
+// specific to the command itself.
+
 import (
 	"strings"
 	"testing"
+
+	"hyperhammer/internal/benchfmt"
 )
 
-const sample = `goos: linux
-goarch: amd64
-pkg: hyperhammer
-cpu: Intel(R) Xeon(R) CPU
-BenchmarkTable1MemoryProfiling-8   	       1	1524000000 ns/op	        52.00 bits_found	        68.20 sim_hours/profile	 5242880 B/op	    1024 allocs/op
-BenchmarkSteerShort   	      10	  52400000 ns/op
---- BENCH: BenchmarkNoise
-    bench_test.go:42: some log line
-PASS
-ok  	hyperhammer	12.345s
-`
-
-func TestParse(t *testing.T) {
-	out, err := Parse(strings.NewReader(sample))
+// TestParseThroughCommandSchema sanity-checks the command still
+// produces the documented schema via the shared package.
+func TestParseThroughCommandSchema(t *testing.T) {
+	out, err := benchfmt.Parse(strings.NewReader(
+		"BenchmarkSteerShort-8-4   \t      10\t  52400000 ns/op\nok  \thyperhammer\t1.2s\n"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if out.Goos != "linux" || out.Goarch != "amd64" || out.Pkg != "hyperhammer" {
-		t.Errorf("headers = %+v", out)
-	}
-	if !out.Ok {
-		t.Error("ok line not detected")
-	}
-	if len(out.Benchmarks) != 2 {
-		t.Fatalf("benchmarks = %+v", out.Benchmarks)
+	if !out.Ok || len(out.Benchmarks) != 1 {
+		t.Fatalf("out = %+v", out)
 	}
 	b := out.Benchmarks[0]
-	if b.Name != "BenchmarkTable1MemoryProfiling" || b.Procs != 8 || b.Runs != 1 {
-		t.Errorf("bench 0 = %+v", b)
-	}
-	for unit, want := range map[string]float64{
-		"ns/op": 1524000000, "bits_found": 52,
-		"sim_hours/profile": 68.2, "B/op": 5242880, "allocs/op": 1024,
-	} {
-		if got := b.Metrics[unit]; got != want {
-			t.Errorf("%s = %v, want %v", unit, got, want)
-		}
-	}
-	b1 := out.Benchmarks[1]
-	if b1.Name != "BenchmarkSteerShort" || b1.Procs != 1 || b1.Runs != 10 {
-		t.Errorf("bench 1 = %+v", b1)
-	}
-	if b1.Metrics["ns/op"] != 52400000 {
-		t.Errorf("bench 1 metrics = %+v", b1.Metrics)
-	}
-}
-
-func TestParseEmptyAndGarbage(t *testing.T) {
-	out, err := Parse(strings.NewReader("FAIL\nsomething else\nBenchmarkBroken trailing junk\n"))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(out.Benchmarks) != 0 || out.Ok {
-		t.Errorf("out = %+v", out)
-	}
-}
-
-func TestSplitProcs(t *testing.T) {
-	for _, tc := range []struct {
-		in    string
-		name  string
-		procs int
-	}{
-		{"BenchmarkX-8", "BenchmarkX", 8},
-		{"BenchmarkX", "BenchmarkX", 1},
-		{"BenchmarkX-y", "BenchmarkX-y", 1},
-		{"Benchmark-Sub-16", "Benchmark-Sub", 16},
-	} {
-		name, procs := splitProcs(tc.in)
-		if name != tc.name || procs != tc.procs {
-			t.Errorf("splitProcs(%q) = %q,%d", tc.in, name, procs)
-		}
+	if b.Name != "BenchmarkSteerShort" || b.Procs != 4 || b.Metrics["ns/op"] != 52400000 {
+		t.Errorf("bench = %+v", b)
 	}
 }

@@ -1,0 +1,108 @@
+// Command hh-diff compares two runs and gates regressions.
+//
+// It accepts either two run artifacts (written by `hyperhammer
+// -artifact` / `hh-tables -artifact`, or a committed baseline under
+// testdata/baselines/) or two benchmark documents (BENCH_*.json from
+// hh-benchjson); the file kind is auto-detected. Because the
+// simulation clock is simulated and runs are seed-deterministic,
+// simulated figures are compared exactly by default — any drift means
+// behavior changed — while wall-clock ns/op gets a generous band.
+//
+// Exit status: 0 when every figure is within tolerance, 1 when any
+// drifted beyond it, 2 on usage or read errors.
+//
+// Usage:
+//
+//	hh-diff old.json new.json
+//	hh-diff -sim-tol 0.05 -count-tol 0.05 testdata/baselines/short-seed4.json run.json
+//	hh-diff -bench-tol 0.5 BENCH_old.json BENCH_new.json
+//	hh-diff -all old.json new.json     # list in-tolerance rows too
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"hyperhammer/internal/benchfmt"
+	"hyperhammer/internal/runartifact"
+)
+
+func main() {
+	var (
+		tol      = runartifact.DefaultTolerances()
+		all      = flag.Bool("all", false, "print every compared figure, not just those beyond tolerance")
+		simTol   = flag.Float64("sim-tol", tol.SimFrac, "relative tolerance on simulated-time figures")
+		simAbs   = flag.Float64("sim-abs", tol.SimAbs, "absolute tolerance on simulated-time figures (seconds)")
+		countTol = flag.Float64("count-tol", tol.CountFrac, "relative tolerance on counters and outcomes")
+		countAbs = flag.Float64("count-abs", tol.CountAbs, "absolute tolerance on counters and outcomes")
+		benchTol = flag.Float64("bench-tol", tol.BenchFrac, "relative tolerance on benchmark ns/op")
+	)
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: hh-diff [flags] old.json new.json")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	tol.SimFrac, tol.SimAbs = *simTol, *simAbs
+	tol.CountFrac, tol.CountAbs = *countTol, *countAbs
+	tol.BenchFrac = *benchTol
+
+	oldPath, newPath := flag.Arg(0), flag.Arg(1)
+	artOld, benchOld, err := load(oldPath)
+	if err != nil {
+		fatal(err)
+	}
+	artNew, benchNew, err := load(newPath)
+	if err != nil {
+		fatal(err)
+	}
+
+	var d *runartifact.Diff
+	switch {
+	case artOld != nil && artNew != nil:
+		d = runartifact.Compare(artOld, artNew, tol)
+	case benchOld != nil && benchNew != nil:
+		d = runartifact.CompareBench(benchOld, benchNew, tol)
+	default:
+		fatal(fmt.Errorf("%s and %s are different document kinds (artifact vs bench)", oldPath, newPath))
+	}
+
+	if *all || d.Regressed() {
+		fmt.Print(d.Table(!*all).String())
+	}
+	fmt.Println(d.Summary())
+	if d.Regressed() {
+		os.Exit(1)
+	}
+}
+
+// load reads path as a run artifact, falling back to a benchmark
+// document. Exactly one of the returns is non-nil on success.
+func load(path string) (*runartifact.Artifact, *benchfmt.Output, error) {
+	if a, err := runartifact.ReadFile(path); err == nil {
+		return a, nil, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	var out benchfmt.Output
+	if err := json.NewDecoder(f).Decode(&out); err != nil {
+		return nil, nil, fmt.Errorf("%s: neither a run artifact nor a bench document: %w", path, err)
+	}
+	if out.GeneratedAt == "" && out.Benchmarks == nil {
+		return nil, nil, fmt.Errorf("%s: neither a run artifact nor a bench document", path)
+	}
+	return nil, &out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hh-diff:", err)
+	os.Exit(2)
+}

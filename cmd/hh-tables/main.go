@@ -54,6 +54,7 @@ func main() {
 	obsAddr := flag.String("obs", "", "serve the live observability plane on this address (status page, /metrics, /api/series, SSE events, pprof)")
 	obsSample := flag.Duration("obs-sample", time.Second, "simulated-time interval between observability samples")
 	obsHold := flag.Duration("obs-hold", 0, "keep the observability server up this long (wall clock) after the run ends")
+	artifactPath := flag.String("artifact", "", "write the self-describing run bundle (config, metrics, cost profile) to this file for hh-diff")
 	flag.Var(&tables, "table", "table number to reproduce (repeatable: 1, 2, 3)")
 	flag.Parse()
 
@@ -69,6 +70,10 @@ func main() {
 		// Buffered; closeTrace flushes on every exit path (os.Exit
 		// skips defers, and fail() exits through os.Exit).
 		o.Trace = hyperhammer.NewTrace(bufio.NewWriterSize(f, 1<<20), 0)
+	} else if *artifactPath != "" {
+		// Cost profiling folds span events, so the artifact needs a
+		// recorder even without a trace file.
+		o.Trace = hyperhammer.NewTrace(nil, 0)
 	}
 	closeTrace := func() {
 		if o.Trace == nil {
@@ -80,10 +85,17 @@ func main() {
 		if n := o.Trace.EncodeErrors(); n > 0 {
 			fmt.Fprintf(os.Stderr, "hh-tables: %d trace events lost to encode/flush errors\n", n)
 		}
-		traceFile.Close()
+		if traceFile != nil {
+			traceFile.Close()
+		}
 	}
-	if *metricsPath != "" || *obsAddr != "" {
+	if *metricsPath != "" || *obsAddr != "" || *artifactPath != "" {
 		o.Metrics = hyperhammer.NewMetrics()
+	}
+	var profiler *hyperhammer.CostProfiler
+	if *artifactPath != "" {
+		profiler = hyperhammer.NewCostProfiler(o.Metrics)
+		o.Trace.SetNamedSink("profile", profiler.Consume)
 	}
 	// Progress lines carry the simulated clock of the most recently
 	// booted host — each experiment restarts it.
@@ -110,6 +122,7 @@ func main() {
 	var srv *obs.Server
 	if *obsAddr != "" {
 		plane := hyperhammer.NewObs(o.Metrics, hyperhammer.ObsConfig{SampleEvery: *obsSample})
+		plane.AttachProfile(profiler)
 		o.Obs = plane
 		var err error
 		if srv, err = plane.Serve(*obsAddr); err != nil {
@@ -118,8 +131,37 @@ func main() {
 		}
 		log.Info("observability plane serving", "url", "http://"+srv.Addr()+"/")
 	}
+	scale := "full"
+	if *short {
+		scale = "short"
+	}
+	buildArtifact := func() *hyperhammer.RunArtifact {
+		a := hyperhammer.NewRunArtifact("hh-tables", *seed, scale)
+		a.CreatedAt = time.Now().UTC().Format(time.RFC3339)
+		a.Config["short"] = strconv.FormatBool(*short)
+		a.Config["attempts"] = strconv.Itoa(*attempts)
+		a.Config["selection"] = strings.Join(os.Args[1:], " ")
+		a.SimSeconds = o.Metrics.SimTime().Seconds()
+		a.Metrics = o.Metrics.Snapshot()
+		a.SetProfile(profiler.Snapshot())
+		return a
+	}
+	if *artifactPath != "" {
+		o.Obs.SetArtifactFunc(func() any { return buildArtifact() })
+	}
+	writeArtifact := func() {
+		if *artifactPath == "" {
+			return
+		}
+		if err := buildArtifact().WriteFile(*artifactPath); err != nil {
+			fmt.Fprintln(os.Stderr, "hh-tables:", err)
+			return
+		}
+		log.Info("run artifact written", "path", *artifactPath)
+	}
 	shutdown := func() {
 		flushMetrics()
+		writeArtifact()
 		closeTrace()
 		if srv != nil {
 			if *obsHold > 0 {

@@ -10,6 +10,7 @@
 //	hyperhammer -short             # 4 GiB scale (seconds)
 //	hyperhammer -attempts N        # attempt budget
 //	hyperhammer -obs 127.0.0.1:0   # live status page + /metrics + SSE
+//	hyperhammer -artifact run.json # write the run bundle for hh-diff
 package main
 
 import (
@@ -17,12 +18,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
 	"hyperhammer"
 	"hyperhammer/internal/obs"
 	"hyperhammer/internal/report"
+	"hyperhammer/internal/runartifact"
 )
 
 func main() {
@@ -35,6 +38,8 @@ func main() {
 	obsAddr := flag.String("obs", "", "serve the live observability plane on this address (status page, /metrics, /api/series, SSE events, pprof)")
 	obsSample := flag.Duration("obs-sample", time.Second, "simulated-time interval between observability samples")
 	obsHold := flag.Duration("obs-hold", 0, "keep the observability server up this long (wall clock) after the campaign ends")
+	artifactPath := flag.String("artifact", "", "write the self-describing run bundle (config, metrics, cost profile, outcome) to this file for hh-diff")
+	hammerRounds := flag.Int("hammer-rounds", 0, "activation budget per hammer pattern (0 = attack default)")
 	flag.Parse()
 
 	if *seed == 0 {
@@ -70,6 +75,9 @@ func main() {
 	if *attempts > 0 {
 		budget = *attempts
 	}
+	if *hammerRounds > 0 {
+		attackCfg.HammerRounds = *hammerRounds
+	}
 
 	var rec *hyperhammer.TraceRecorder
 	var traceFile *os.File
@@ -84,6 +92,12 @@ func main() {
 		// and the buffered tail is the part that explains a crash.
 		rec = hyperhammer.NewTrace(bufio.NewWriterSize(f, 1<<20), 0)
 		hostCfg.Trace = rec
+	} else if *artifactPath != "" {
+		// The artifact's cost profile folds span events, so profiling
+		// needs a recorder even when no trace file was requested;
+		// in-memory with no ring is nearly free.
+		rec = hyperhammer.NewTrace(nil, 0)
+		hostCfg.Trace = rec
 	}
 	closeTrace := func() {
 		if rec == nil {
@@ -95,21 +109,31 @@ func main() {
 		if n := rec.EncodeErrors(); n > 0 {
 			fmt.Fprintf(os.Stderr, "hyperhammer: %d trace events lost to encode/flush errors\n", n)
 		}
-		traceFile.Close()
+		if traceFile != nil {
+			traceFile.Close()
+		}
 	}
 
 	var reg *hyperhammer.MetricsRegistry
-	if *metricsPath != "" || *metricsTable || *obsAddr != "" {
+	if *metricsPath != "" || *metricsTable || *obsAddr != "" || *artifactPath != "" {
 		reg = hyperhammer.NewMetrics()
 		hostCfg.Metrics = reg
+	}
+
+	var profiler *hyperhammer.CostProfiler
+	if *artifactPath != "" {
+		profiler = hyperhammer.NewCostProfiler(reg)
+		rec.SetNamedSink("profile", profiler.Consume)
 	}
 	// Every progress line is stamped with the simulated clock, the
 	// time base of every duration the campaign reports.
 	log := obs.NewLogger(os.Stdout, reg.SimTime, nil)
 
 	var srv *obs.Server
+	var plane *hyperhammer.ObsPlane
 	if *obsAddr != "" {
-		plane := hyperhammer.NewObs(reg, hyperhammer.ObsConfig{SampleEvery: *obsSample})
+		plane = hyperhammer.NewObs(reg, hyperhammer.ObsConfig{SampleEvery: *obsSample})
+		plane.AttachProfile(profiler) // nil profiler → /api/profile serves empty
 		hostCfg.Obs = plane
 		var err error
 		if srv, err = plane.Serve(*obsAddr); err != nil {
@@ -153,8 +177,67 @@ func main() {
 			fatal(err)
 		}
 	}
+	// The artifact bundles everything hh-diff compares. campaignRes is
+	// filled in after the campaign; building before that (the live
+	// /api/artifact endpoint, or a crash path) yields a bundle without
+	// outcome rows, which hh-diff treats as figures missing on one side.
+	var campaignRes *hyperhammer.CampaignResult
+	scale := "full"
+	if *short {
+		scale = "short"
+	}
+	buildArtifact := func() *hyperhammer.RunArtifact {
+		a := hyperhammer.NewRunArtifact("hyperhammer", *seed, scale)
+		a.CreatedAt = time.Now().UTC().Format(time.RFC3339)
+		a.Config["short"] = strconv.FormatBool(*short)
+		a.Config["attempts"] = strconv.Itoa(budget)
+		a.Config["hammer-rounds"] = strconv.Itoa(attackCfg.HammerRounds)
+		a.Config["geometry"] = hostCfg.Geometry.Name
+		a.SimSeconds = reg.SimTime().Seconds()
+		a.Metrics = reg.Snapshot()
+		a.SetProfile(profiler.Snapshot())
+		if res := campaignRes; res != nil {
+			a.Outcome["attempts"] = float64(len(res.Attempts))
+			a.Outcome["successes"] = float64(res.Successes)
+			a.Outcome["first_success_attempt"] = float64(res.FirstSuccessAttempt)
+			a.Outcome["profiled_bits"] = float64(res.ProfiledBits)
+			a.Outcome["profile_seconds"] = res.ProfileDuration.Seconds()
+			a.Outcome["steer_seconds"] = res.SteerTime.Seconds()
+			a.Outcome["exploit_seconds"] = res.ExploitTime.Seconds()
+			a.Outcome["reboot_seconds"] = res.RebootTime.Seconds()
+			a.Outcome["setup_seconds"] = res.SetupTime.Seconds()
+			a.Outcome["total_seconds"] = res.TotalDuration.Seconds()
+		}
+		// A compact extract of the headline series, when the plane
+		// sampled any (hh-diff compares endpoints; the curves are for
+		// humans and plots).
+		for _, name := range []string{"dram_activations_total", "hammer_rounds_total"} {
+			for _, sd := range plane.Store().Series(name) {
+				s := runartifact.Series{Name: sd.Name, Labels: sd.Labels, Kind: sd.Kind}
+				for _, pt := range sd.Points {
+					s.Points = append(s.Points, runartifact.SeriesPoint{T: pt.SimSeconds, V: pt.Value})
+				}
+				a.Series = append(a.Series, s)
+			}
+		}
+		return a
+	}
+	if *artifactPath != "" {
+		plane.SetArtifactFunc(func() any { return buildArtifact() })
+	}
+	writeArtifact := func() {
+		if *artifactPath == "" {
+			return
+		}
+		if err := buildArtifact().WriteFile(*artifactPath); err != nil {
+			fmt.Fprintln(os.Stderr, "hyperhammer:", err)
+			return
+		}
+		log.Info("run artifact written", "path", *artifactPath)
+	}
 	shutdown := func() {
 		exportMetrics()
+		writeArtifact()
 		closeTrace()
 		closeObs()
 	}
@@ -187,6 +270,7 @@ func main() {
 		shutdown()
 		fatal(err)
 	}
+	campaignRes = res
 	log.Info("profiling finished",
 		"exploitableBits", res.ProfiledBits,
 		"simulated", res.ProfileDuration.String())

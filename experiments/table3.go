@@ -84,6 +84,10 @@ func table3Run(o Options, sys System) (Table3Row, error) {
 			maxAttempts = 200
 		}
 	}
+	// Per-system root span: the campaign's span tree nests under it,
+	// so one cost profile separates S1 from S2 phase costs.
+	span := o.Trace.StartSpan("table3."+sys.String(), "system", sys.String())
+	cfg.Span = span
 	campaign, err := attack.RunCampaign(h, attack.CampaignConfig{
 		Attack:             cfg,
 		VM:                 kvm.VMConfig{MemSize: sc.vmSize, VFIOGroups: 1, BootSplits: sc.bootSplits},
@@ -93,6 +97,7 @@ func table3Run(o Options, sys System) (Table3Row, error) {
 		VerifyValue:        magic,
 		ChurnOps:           400,
 	})
+	span.End()
 	if err != nil {
 		return Table3Row{}, err
 	}

@@ -49,6 +49,8 @@ import (
 
 	"hyperhammer/internal/mitigation"
 	"hyperhammer/internal/obs"
+	"hyperhammer/internal/profile"
+	"hyperhammer/internal/runartifact"
 	"hyperhammer/internal/trace"
 	"hyperhammer/internal/virtio"
 	"hyperhammer/internal/xenlite"
@@ -176,6 +178,41 @@ type ObsConfig = obs.Config
 // should be the same registry installed via HostConfig.Metrics).
 func NewObs(reg *MetricsRegistry, cfg ObsConfig) *ObsPlane {
 	return obs.NewPlane(reg, cfg)
+}
+
+// CostProfiler folds the span trace into a per-phase simulated-time
+// cost profile (see internal/profile). Attach one to a trace recorder
+// with TraceRecorder.SetNamedSink("profile", p.Consume), or install it
+// on an ObsPlane with AttachProfile so /api/profile serves it live.
+type CostProfiler = profile.Builder
+
+// CostProfile is one folded snapshot of a CostProfiler: per-span-path
+// simulated time, DRAM activations, and hammer rounds, exportable as
+// flamegraph folded stacks or gzipped pprof protobuf.
+type CostProfile = profile.Profile
+
+// NewCostProfiler creates a cost profiler charging the registry's DRAM
+// and hammer counters to the open span (reg may be nil for a
+// sim-time-only profile).
+func NewCostProfiler(reg *MetricsRegistry) *CostProfiler {
+	return profile.NewBuilder(reg)
+}
+
+// CostProfileFromTrace folds a recorded JSONL trace file offline into
+// a cost profile (sim time only; counter attribution needs a live
+// registry).
+func CostProfileFromTrace(r io.Reader) (*CostProfile, error) {
+	return profile.FromTrace(r)
+}
+
+// RunArtifact is the self-describing run bundle the CLIs write with
+// -artifact and cmd/hh-diff compares (see internal/runartifact).
+type RunArtifact = runartifact.Artifact
+
+// NewRunArtifact returns an artifact shell for the given producing
+// tool, seed, and scale ("short" or "full").
+func NewRunArtifact(tool string, seed uint64, scale string) *RunArtifact {
+	return runartifact.New(tool, seed, scale)
 }
 
 // BootGuest starts the guest OS runtime on a VM.

@@ -1,0 +1,156 @@
+// Package benchfmt parses `go test -bench` text output into the
+// machine-readable document CI archives as BENCH_*.json. It is shared
+// by cmd/hh-benchjson (which writes the document) and cmd/hh-diff
+// (which compares two of them), so the schema lives in one place.
+//
+// Benchmark names are normalized for cross-machine stability: the
+// test binary appends a -GOMAXPROCS suffix to every name, and a -cpu
+// list multiplies the same benchmark across several such suffixes
+// (BenchmarkX-8, BenchmarkX-8-4, ...). All trailing -N groups of the
+// final path segment are stripped into the Procs field, so the same
+// benchmark diffs under the same key no matter which machine or -cpu
+// setting produced it.
+package benchfmt
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	// Name is the benchmark name with any -GOMAXPROCS/-cpu suffixes
+	// stripped (the stable cross-machine key).
+	Name string `json:"name"`
+	// Procs is the GOMAXPROCS the benchmark ran under (the outermost
+	// stripped suffix; 1 when the name carried none).
+	Procs int `json:"procs"`
+	// Runs is the iteration count (b.N).
+	Runs int64 `json:"runs"`
+	// Metrics maps unit to value: ns/op, B/op, allocs/op, and any
+	// custom units from b.ReportMetric (e.g. sim_hours/profile).
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Output is the whole document.
+type Output struct {
+	// GeneratedAt is the wall-clock parse time (RFC 3339).
+	GeneratedAt string `json:"generatedAt"`
+	// Goos/Goarch/Pkg/CPU echo the `go test` header lines when present.
+	Goos   string `json:"goos,omitempty"`
+	Goarch string `json:"goarch,omitempty"`
+	Pkg    string `json:"pkg,omitempty"`
+	CPU    string `json:"cpu,omitempty"`
+	// Ok reports whether a final "ok" line was seen (the run completed).
+	Ok         bool        `json:"ok"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// ByName indexes the benchmarks by normalized name. When a -cpu list
+// produced several entries for one name, the entry with the fewest
+// procs wins (the most comparable single-threaded figure).
+func (o *Output) ByName() map[string]Benchmark {
+	out := make(map[string]Benchmark, len(o.Benchmarks))
+	for _, b := range o.Benchmarks {
+		if prev, ok := out[b.Name]; ok && prev.Procs <= b.Procs {
+			continue
+		}
+		out[b.Name] = b
+	}
+	return out
+}
+
+// Parse reads `go test -bench` output and extracts every benchmark
+// line plus the run headers. Lines it doesn't recognize (test logs,
+// PASS markers) are skipped; benchmarks are passed through to the
+// document in input order.
+func Parse(r io.Reader) (*Output, error) {
+	out := &Output{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Benchmarks:  []Benchmark{},
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			out.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			out.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "pkg: "):
+			out.Pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "cpu: "):
+			out.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "ok "):
+			out.Ok = true
+		case strings.HasPrefix(line, "Benchmark"):
+			if b, ok := parseBench(line); ok {
+				out.Benchmarks = append(out.Benchmarks, b)
+			}
+		}
+	}
+	return out, sc.Err()
+}
+
+// parseBench parses one result line:
+//
+//	BenchmarkName-8  3  123456 ns/op  42.5 sim_hours/profile  16 B/op  2 allocs/op
+//
+// A malformed metric pair is skipped rather than dropping the whole
+// line, so a benchmark that logged a stray token still contributes its
+// parseable metrics.
+func parseBench(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Benchmark{}, false
+	}
+	name, procs := SplitProcs(fields[0])
+	runs, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: name, Procs: procs, Runs: runs, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	if len(b.Metrics) == 0 {
+		return Benchmark{}, false
+	}
+	return b, true
+}
+
+// SplitProcs strips the trailing -N GOMAXPROCS suffixes off a
+// benchmark name. Repeated numeric suffixes (BenchmarkX-8-4 from a
+// -cpu run) are all stripped; the reported proc count is the
+// outermost suffix, the GOMAXPROCS the line actually ran under.
+// Sub-benchmark segments keep their numeric names: stripping never
+// crosses a '/' and never leaves an empty name.
+func SplitProcs(name string) (string, int) {
+	procs := 0
+	for {
+		i := strings.LastIndexByte(name, '-')
+		if i <= 0 || name[i-1] == '/' {
+			break
+		}
+		n, err := strconv.Atoi(name[i+1:])
+		if err != nil || n <= 0 {
+			break
+		}
+		name = name[:i]
+		if procs == 0 {
+			procs = n
+		}
+	}
+	if procs == 0 {
+		procs = 1
+	}
+	return name, procs
+}

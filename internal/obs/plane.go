@@ -1,9 +1,11 @@
 package obs
 
 import (
+	"sync"
 	"time"
 
 	"hyperhammer/internal/metrics"
+	"hyperhammer/internal/profile"
 	"hyperhammer/internal/simtime"
 	"hyperhammer/internal/trace"
 )
@@ -32,6 +34,10 @@ type Plane struct {
 	store *Store
 	every time.Duration
 	start time.Time
+
+	mu       sync.Mutex
+	profiler *profile.Builder
+	artifact func() any
 }
 
 // NewPlane creates a plane over reg (which may be nil: the plane then
@@ -127,18 +133,75 @@ func (p *Plane) sample() {
 	})
 }
 
+// AttachProfile installs a live cost profiler: once attached, every
+// recorder tapped via TapTrace also feeds the builder, and the
+// server's /api/profile endpoint serves its snapshots. Attach before
+// booting hosts so span starts are not missed. Safe on a nil receiver.
+func (p *Plane) AttachProfile(b *profile.Builder) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.profiler = b
+	p.mu.Unlock()
+}
+
+// Profile snapshots the attached profiler (empty profile when none is
+// attached, so handlers never nil-check).
+func (p *Plane) Profile() *profile.Profile {
+	if p == nil {
+		return &profile.Profile{}
+	}
+	p.mu.Lock()
+	b := p.profiler
+	p.mu.Unlock()
+	return b.Snapshot()
+}
+
+// SetArtifactFunc installs the callback /api/artifact serves. The
+// value is JSON-encoded per request, so the CLIs hand in a closure
+// building the current runartifact bundle without obs importing that
+// package. Safe on a nil receiver.
+func (p *Plane) SetArtifactFunc(fn func() any) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.artifact = fn
+	p.mu.Unlock()
+}
+
+// ArtifactFunc returns the installed callback (nil when unset).
+func (p *Plane) ArtifactFunc() func() any {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.artifact
+}
+
 // TapTrace streams every event the recorder emits onto the plane's
-// bus, timestamps converted to seconds. Safe on a nil receiver (the
-// recorder keeps whatever sink it had).
+// bus, timestamps converted to seconds, and — when a profiler is
+// attached — into the cost profile. The taps register under named
+// sinks, so re-tapping at every host boot is idempotent and leaves
+// other consumers of the recorder undisturbed. Safe on a nil receiver
+// (the recorder keeps whatever sinks it had).
 func (p *Plane) TapTrace(r *trace.Recorder) {
 	if p == nil {
 		return
 	}
-	r.SetSink(func(ev trace.Event) {
+	r.SetNamedSink("obs", func(ev trace.Event) {
 		sim := 0.0
 		if d, err := time.ParseDuration(ev.SimTime); err == nil {
 			sim = d.Seconds()
 		}
 		p.bus.Publish(ev.Kind, sim, ev.Data)
 	})
+	p.mu.Lock()
+	b := p.profiler
+	p.mu.Unlock()
+	if b != nil {
+		r.SetNamedSink("profile", b.Consume)
+	}
 }

@@ -20,7 +20,11 @@ import (
 //	/api/series    ring-buffered sim-time series (?name= filters)
 //	/api/events    live SSE stream off the event bus (recent events
 //	               replayed first)
-//	/debug/pprof/  the standard Go profiler endpoints
+//	/api/profile   live sim-time cost profile (?format=json|folded|pprof)
+//	/api/artifact  current run-artifact bundle, when the CLI installed
+//	               a builder (404 otherwise)
+//	/debug/pprof/  the standard Go profiler endpoints (wall-clock; the
+//	               simulation's own profile is /api/profile)
 type Server struct {
 	plane *Plane
 	ln    net.Listener
@@ -45,6 +49,8 @@ func (p *Plane) Serve(addr string) (*Server, error) {
 	mux.HandleFunc("/api/snapshot", s.handleSnapshot)
 	mux.HandleFunc("/api/series", s.handleSeries)
 	mux.HandleFunc("/api/events", s.handleEvents)
+	mux.HandleFunc("/api/profile", s.handleProfile)
+	mux.HandleFunc("/api/artifact", s.handleArtifact)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -106,6 +112,9 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleSeries(w http.ResponseWriter, r *http.Request) {
 	name := r.URL.Query().Get("name")
+	// Shape contract: "series" is always a JSON array, never null —
+	// an unknown name or an empty store yields []. Dashboards iterate
+	// the field without guarding.
 	series := s.plane.Store().Series(name)
 	if series == nil {
 		series = []SeriesData{}
@@ -115,6 +124,37 @@ func (s *Server) handleSeries(w http.ResponseWriter, r *http.Request) {
 		"samples":    s.plane.Store().Samples(),
 		"series":     series,
 	})
+}
+
+// handleProfile serves the live cost profile in the requested format:
+// JSON entry table (default), flamegraph folded stacks, or gzipped
+// pprof protobuf (`go tool pprof http://.../api/profile?format=pprof`).
+func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
+	p := s.plane.Profile()
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "json":
+		writeJSON(w, p)
+	case "folded":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		p.WriteFolded(w) //nolint:errcheck // client went away
+	case "pprof":
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("Content-Disposition", `attachment; filename="simprofile.pb.gz"`)
+		p.WritePprof(w) //nolint:errcheck // client went away
+	default:
+		http.Error(w, fmt.Sprintf("unknown format %q (want json, folded, or pprof)", format), http.StatusBadRequest)
+	}
+}
+
+// handleArtifact serves the CLI-installed run-artifact builder's
+// current bundle; 404 until a CLI installs one.
+func (s *Server) handleArtifact(w http.ResponseWriter, _ *http.Request) {
+	fn := s.plane.ArtifactFunc()
+	if fn == nil {
+		http.Error(w, "no artifact builder installed (run with -artifact)", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, fn())
 }
 
 // handleEvents streams the bus over SSE: the replay ring first, then

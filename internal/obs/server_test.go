@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"hyperhammer/internal/metrics"
+	"hyperhammer/internal/profile"
 	"hyperhammer/internal/simtime"
 	"hyperhammer/internal/trace"
 )
@@ -116,6 +117,111 @@ func TestSeriesEndpointAccumulatesOverSimTime(t *testing.T) {
 	_, body = get(t, srv, "/api/series?name=nope")
 	if !strings.Contains(body, `"series": []`) {
 		t.Errorf("empty filter body = %s", body)
+	}
+}
+
+// TestSeriesShapeIsStable pins the /api/series JSON contract: the
+// "series" field is an array in every state — fresh plane, no samples,
+// no name filter — never null, and each series' "points" is an array
+// too. Dashboards iterate these without guarding.
+func TestSeriesShapeIsStable(t *testing.T) {
+	p := NewPlane(nil, Config{}) // no registry, no samples ever
+	srv, err := p.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	for _, path := range []string{"/api/series", "/api/series?name=nope"} {
+		code, body := get(t, srv, path)
+		if code != 200 {
+			t.Fatalf("GET %s status = %d", path, code)
+		}
+		if strings.Contains(body, `"series": null`) || !strings.Contains(body, `"series": []`) {
+			t.Errorf("GET %s: series not an empty array:\n%s", path, body)
+		}
+	}
+
+	// And with data present, every series' points is a real array.
+	srv2, reg, clock := newTestServer(t)
+	reg.Counter("dram_activations_total", "a").Add(1)
+	clock.Advance(2 * time.Second)
+	_, body := get(t, srv2, "/api/series")
+	var out struct {
+		Series []SeriesData `json:"series"`
+	}
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Series) == 0 {
+		t.Fatal("no series recorded")
+	}
+	if strings.Contains(body, `"points": null`) {
+		t.Errorf("series with null points:\n%s", body)
+	}
+}
+
+func TestProfileEndpoint(t *testing.T) {
+	srv, reg, clock := newTestServer(t)
+	rec := trace.New(nil, 0)
+	rec.BindClock(clock)
+	b := profile.NewBuilder(reg)
+	srv.plane.AttachProfile(b)
+	srv.plane.TapTrace(rec)
+
+	root := rec.StartSpan("attack.campaign")
+	child := root.StartChild("attack.steer")
+	clock.Advance(30 * time.Second)
+	child.End()
+	root.End()
+
+	code, body := get(t, srv, "/api/profile")
+	if code != 200 {
+		t.Fatalf("status = %d", code)
+	}
+	var p profile.Profile
+	if err := json.Unmarshal([]byte(body), &p); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := p.Lookup("attack.campaign;attack.steer"); !ok {
+		t.Errorf("profile entries = %+v", p.Entries)
+	}
+
+	_, folded := get(t, srv, "/api/profile?format=folded")
+	if !strings.Contains(folded, "attack.campaign;attack.steer 30000000") {
+		t.Errorf("folded body:\n%s", folded)
+	}
+
+	code, raw := get(t, srv, "/api/profile?format=pprof")
+	if code != 200 || len(raw) < 2 || raw[0] != 0x1f || raw[1] != 0x8b {
+		t.Errorf("pprof format: code=%d, first bytes % x", code, raw[:min(2, len(raw))])
+	}
+
+	if code, _ := get(t, srv, "/api/profile?format=bogus"); code != 400 {
+		t.Errorf("bogus format status = %d", code)
+	}
+}
+
+// TestProfileEndpointWithoutBuilder: the endpoint degrades to an empty
+// profile rather than erroring when no profiler is attached.
+func TestProfileEndpointWithoutBuilder(t *testing.T) {
+	srv, _, _ := newTestServer(t)
+	code, body := get(t, srv, "/api/profile")
+	if code != 200 || !strings.Contains(body, `"events": 0`) {
+		t.Errorf("code=%d body=%s", code, body)
+	}
+}
+
+func TestArtifactEndpoint(t *testing.T) {
+	srv, _, _ := newTestServer(t)
+	if code, _ := get(t, srv, "/api/artifact"); code != 404 {
+		t.Errorf("without builder: status = %d", code)
+	}
+	srv.plane.SetArtifactFunc(func() any {
+		return map[string]any{"tool": "test", "seed": 4}
+	})
+	code, body := get(t, srv, "/api/artifact")
+	if code != 200 || !strings.Contains(body, `"tool": "test"`) {
+		t.Errorf("with builder: code=%d body=%s", code, body)
 	}
 }
 

@@ -1,0 +1,183 @@
+// pprof.go serializes a Profile in the pprof protobuf format
+// (profile.proto), hand-encoded: the simulation takes no external
+// dependencies, and the subset pprof needs — string table, value
+// types, samples with location chains, one function per span name —
+// is a few dozen lines of varint plumbing. The output is gzipped, as
+// `go tool pprof` expects, so folded span paths open directly in any
+// pprof UI (top, graph, flamegraph).
+package profile
+
+import (
+	"compress/gzip"
+	"io"
+	"strings"
+)
+
+// profile.proto field numbers (only the ones emitted).
+const (
+	fldSampleType    = 1  // repeated ValueType
+	fldSample        = 2  // repeated Sample
+	fldLocation      = 4  // repeated Location
+	fldFunction      = 5  // repeated Function
+	fldStringTable   = 6  // repeated string
+	fldDefaultSample = 13 // int64, index into string table
+
+	fldVTType = 1 // ValueType.type
+	fldVTUnit = 2 // ValueType.unit
+
+	fldSampleLocID = 1 // Sample.location_id (repeated uint64)
+	fldSampleValue = 2 // Sample.value (repeated int64)
+
+	fldLocID   = 1 // Location.id
+	fldLocLine = 4 // Location.line
+
+	fldLineFuncID = 1 // Line.function_id
+
+	fldFuncID   = 1 // Function.id
+	fldFuncName = 2 // Function.name
+)
+
+// protoBuf is a minimal protobuf wire-format writer.
+type protoBuf struct{ b []byte }
+
+func (p *protoBuf) varint(v uint64) {
+	for v >= 0x80 {
+		p.b = append(p.b, byte(v)|0x80)
+		v >>= 7
+	}
+	p.b = append(p.b, byte(v))
+}
+
+// tag writes a field key; wire type 0 is varint, 2 length-delimited.
+func (p *protoBuf) tag(field, wire int) { p.varint(uint64(field)<<3 | uint64(wire)) }
+
+func (p *protoBuf) int64Field(field int, v int64) {
+	p.tag(field, 0)
+	p.varint(uint64(v))
+}
+
+func (p *protoBuf) stringField(field int, s string) {
+	p.tag(field, 2)
+	p.varint(uint64(len(s)))
+	p.b = append(p.b, s...)
+}
+
+func (p *protoBuf) message(field int, m *protoBuf) {
+	p.tag(field, 2)
+	p.varint(uint64(len(m.b)))
+	p.b = append(p.b, m.b...)
+}
+
+// packedUints writes a repeated integer field in packed encoding.
+func (p *protoBuf) packedUints(field int, vs []uint64) {
+	var inner protoBuf
+	for _, v := range vs {
+		inner.varint(v)
+	}
+	p.message(field, &inner)
+}
+
+func (p *protoBuf) packedInts(field int, vs []int64) {
+	us := make([]uint64, len(vs))
+	for i, v := range vs {
+		us[i] = uint64(v)
+	}
+	p.packedUints(field, us)
+}
+
+// WritePprof writes the profile as a gzipped pprof protobuf with four
+// sample types — sim_time (nanoseconds), dram_activations,
+// hammer_rounds, and spans (counts) — one sample per span path, values
+// exclusive (pprof reconstructs inclusive costs from the location
+// chains). The encoding is deterministic: entries are already
+// path-sorted and the string table is built in traversal order.
+func (p *Profile) WritePprof(w io.Writer) error {
+	var out protoBuf
+
+	// String table: index 0 must be "".
+	strIdx := map[string]int64{"": 0}
+	strs := []string{""}
+	intern := func(s string) int64 {
+		if i, ok := strIdx[s]; ok {
+			return i
+		}
+		i := int64(len(strs))
+		strIdx[s] = i
+		strs = append(strs, s)
+		return i
+	}
+
+	type vt struct{ typ, unit string }
+	for _, v := range []vt{
+		{"sim_time", "nanoseconds"},
+		{"dram_activations", "count"},
+		{"hammer_rounds", "count"},
+		{"spans", "count"},
+	} {
+		var m protoBuf
+		m.int64Field(fldVTType, intern(v.typ))
+		m.int64Field(fldVTUnit, intern(v.unit))
+		out.message(fldSampleType, &m)
+	}
+
+	// One function and one location per distinct span name; location
+	// IDs are 1-based indices.
+	locID := map[string]uint64{}
+	var funcs, locs []string
+	locOf := func(name string) uint64 {
+		if id, ok := locID[name]; ok {
+			return id
+		}
+		id := uint64(len(locs) + 1)
+		locID[name] = id
+		locs = append(locs, name)
+		funcs = append(funcs, name)
+		return id
+	}
+
+	var samples []*protoBuf
+	for _, e := range p.Entries {
+		frames := strings.Split(e.Path, PathSep)
+		// pprof wants leaf first.
+		ids := make([]uint64, 0, len(frames))
+		for i := len(frames) - 1; i >= 0; i-- {
+			ids = append(ids, locOf(frames[i]))
+		}
+		var m protoBuf
+		m.packedUints(fldSampleLocID, ids)
+		m.packedInts(fldSampleValue, []int64{
+			int64(e.SelfSimSeconds * 1e9),
+			e.SelfActivations,
+			e.SelfHammerRounds,
+			e.Count,
+		})
+		samples = append(samples, &m)
+	}
+	for _, m := range samples {
+		out.message(fldSample, m)
+	}
+	for i := range locs {
+		var line protoBuf
+		line.int64Field(fldLineFuncID, int64(i+1))
+		var m protoBuf
+		m.int64Field(fldLocID, int64(i+1))
+		m.message(fldLocLine, &line)
+		out.message(fldLocation, &m)
+	}
+	for i, name := range funcs {
+		var m protoBuf
+		m.int64Field(fldFuncID, int64(i+1))
+		m.int64Field(fldFuncName, intern(name))
+		out.message(fldFunction, &m)
+	}
+	for _, s := range strs {
+		out.stringField(fldStringTable, s)
+	}
+	out.int64Field(fldDefaultSample, strIdx["sim_time"])
+
+	gz := gzip.NewWriter(w)
+	if _, err := gz.Write(out.b); err != nil {
+		return err
+	}
+	return gz.Close()
+}

@@ -1,0 +1,155 @@
+// Package runartifact defines the self-describing run bundle the CLIs
+// write with -artifact: everything needed to compare two runs after
+// the fact — the configuration and seed of record, the final metrics
+// snapshot, the folded cost profile (see internal/profile), a small
+// time-series extract, the campaign outcome, and optionally an
+// embedded benchmark document.
+//
+// Because the simulation is deterministic for a fixed seed and its
+// clock is simulated (machine-speed independent), two artifacts from
+// the same seed must agree exactly on every sim-time and counter
+// figure; cmd/hh-diff exploits this to gate regressions with zero
+// tolerance on simulated metrics while allowing generous slack on
+// wall-clock benchmark numbers.
+package runartifact
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"hyperhammer/internal/benchfmt"
+	"hyperhammer/internal/metrics"
+	"hyperhammer/internal/profile"
+)
+
+// Version is the artifact schema version this package writes.
+const Version = 1
+
+// SeriesPoint is one (sim-time, value) sample of an extracted series.
+type SeriesPoint struct {
+	T float64 `json:"t"` // simulated seconds
+	V float64 `json:"v"`
+}
+
+// Series is a compact extract of one observability time series, kept
+// in the artifact so a run's shape (not just its endpoint) survives.
+type Series struct {
+	Name   string        `json:"name"`
+	Labels []string      `json:"labels,omitempty"` // alternating key/value
+	Kind   string        `json:"kind,omitempty"`
+	Points []SeriesPoint `json:"points"`
+}
+
+// Artifact is the whole bundle. CreatedAt is the only wall-clock field
+// and is excluded from comparison; everything else is reproducible
+// from Seed + Config.
+type Artifact struct {
+	Version int `json:"version"`
+	// Tool names the producing command (hyperhammer, hh-tables).
+	Tool      string `json:"tool"`
+	CreatedAt string `json:"createdAt,omitempty"`
+	// Seed and Scale identify the run: same seed + scale + code ⇒
+	// byte-identical simulated results.
+	Seed  uint64 `json:"seed"`
+	Scale string `json:"scale,omitempty"` // "short" or "full"
+	// Config records the effective knob settings (flag name → value).
+	Config map[string]string `json:"config,omitempty"`
+	// SimSeconds is the final simulated-clock reading.
+	SimSeconds float64 `json:"simSeconds"`
+	// Outcome holds the campaign's headline numbers (attempts,
+	// successes, bits found, per-phase seconds, ...).
+	Outcome map[string]float64 `json:"outcome,omitempty"`
+	// Metrics is the final registry snapshot.
+	Metrics metrics.Snapshot `json:"metrics"`
+	// Profile is the folded cost profile's entry table.
+	Profile []profile.Entry `json:"profile,omitempty"`
+	// Series is the time-series extract (informational; hh-diff
+	// compares endpoints, not curves).
+	Series []Series `json:"series,omitempty"`
+	// Bench optionally embeds a benchmark document so one artifact can
+	// carry both simulated and wall-clock figures.
+	Bench *benchfmt.Output `json:"bench,omitempty"`
+}
+
+// New returns an artifact shell with the identifying fields set.
+func New(tool string, seed uint64, scale string) *Artifact {
+	return &Artifact{
+		Version: Version,
+		Tool:    tool,
+		Seed:    seed,
+		Scale:   scale,
+		Config:  map[string]string{},
+		Outcome: map[string]float64{},
+	}
+}
+
+// SetProfile stores a profile snapshot's entries.
+func (a *Artifact) SetProfile(p *profile.Profile) {
+	if p != nil {
+		a.Profile = p.Entries
+	}
+}
+
+// Folded renders the stored profile entries as flamegraph folded
+// stacks, identical to profile.Profile.Folded on the source profile.
+func (a *Artifact) Folded() string {
+	p := profile.Profile{Entries: a.Profile}
+	return p.Folded()
+}
+
+// Write serializes the artifact as indented JSON.
+func (a *Artifact) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(a); err != nil {
+		return fmt.Errorf("runartifact: encode: %w", err)
+	}
+	return nil
+}
+
+// WriteFile writes the artifact to path, creating or truncating it.
+func (a *Artifact) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("runartifact: %w", err)
+	}
+	if err := a.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Read parses an artifact. It rejects documents that are not
+// artifacts (no version stamp) so hh-diff can fall back to treating
+// the file as a plain benchmark document.
+func Read(r io.Reader) (*Artifact, error) {
+	var a Artifact
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&a); err != nil {
+		return nil, fmt.Errorf("runartifact: decode: %w", err)
+	}
+	if a.Version == 0 {
+		return nil, fmt.Errorf("runartifact: not a run artifact (no version field)")
+	}
+	if a.Version > Version {
+		return nil, fmt.Errorf("runartifact: version %d is newer than supported %d", a.Version, Version)
+	}
+	return &a, nil
+}
+
+// ReadFile reads an artifact from path.
+func ReadFile(path string) (*Artifact, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("runartifact: %w", err)
+	}
+	defer f.Close()
+	a, err := Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return a, nil
+}

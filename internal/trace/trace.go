@@ -12,6 +12,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 	"sync"
 	"time"
 
@@ -45,9 +46,13 @@ type Recorder struct {
 	recent   []Event
 	errs     int
 	nextSpan uint64
-	// sink, when set, receives a copy of every event after it is
-	// recorded (the live observability tap).
-	sink func(Event)
+	// sinks maps sink name to a live tap: every recorded event is
+	// copied to each registered sink (the observability plane and the
+	// cost profiler attach independently). sinkList is the same set
+	// flattened in deterministic (name-sorted) order for lock-free
+	// iteration after emit.
+	sinks    map[string]func(Event)
+	sinkList []func(Event)
 }
 
 // New creates a recorder writing JSON lines to w (which may be nil for
@@ -72,17 +77,43 @@ func (r *Recorder) BindClock(c *simtime.Clock) {
 	}
 }
 
-// SetSink installs fn as a live tap: every subsequently recorded event
-// is also passed to fn, after the recorder's own lock is released (so
-// fn may call back into the recorder, though recursing from a sink is
-// usually a mistake). A nil fn removes the tap. Safe on a nil
-// receiver.
+// SetSink installs fn as the default live tap: every subsequently
+// recorded event is also passed to fn, after the recorder's own lock
+// is released (so fn may call back into the recorder, though recursing
+// from a sink is usually a mistake). A nil fn removes the tap.
+// Equivalent to SetNamedSink("", fn). Safe on a nil receiver.
 func (r *Recorder) SetSink(fn func(Event)) {
+	r.SetNamedSink("", fn)
+}
+
+// SetNamedSink installs fn as the live tap registered under name,
+// replacing any previous sink of the same name (so re-binding is
+// idempotent: a plane that taps the same recorder at every host boot
+// keeps exactly one tap). A nil fn removes that tap. Independent
+// consumers — the observability bus, the cost profiler — use distinct
+// names and all receive every event. Safe on a nil receiver.
+func (r *Recorder) SetNamedSink(name string, fn func(Event)) {
 	if r == nil {
 		return
 	}
 	r.mu.Lock()
-	r.sink = fn
+	if r.sinks == nil {
+		r.sinks = make(map[string]func(Event))
+	}
+	if fn == nil {
+		delete(r.sinks, name)
+	} else {
+		r.sinks[name] = fn
+	}
+	names := make([]string, 0, len(r.sinks))
+	for n := range r.sinks {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	r.sinkList = make([]func(Event), 0, len(names))
+	for _, n := range names {
+		r.sinkList = append(r.sinkList, r.sinks[n])
+	}
 	r.mu.Unlock()
 }
 
@@ -95,9 +126,9 @@ func (r *Recorder) Emit(kind string, kv ...any) {
 	data := buildData(kv)
 	r.mu.Lock()
 	ev := r.emitLocked(kind, data)
-	sink := r.sink
+	sinks := r.sinkList
 	r.mu.Unlock()
-	if sink != nil {
+	for _, sink := range sinks {
 		sink(ev)
 	}
 }
@@ -277,9 +308,9 @@ func (r *Recorder) startSpan(parent uint64, name string, kv []any) *Span {
 		data["parent"] = parent
 	}
 	ev := r.emitLocked("span.start", data)
-	sink := r.sink
+	sinks := r.sinkList
 	r.mu.Unlock()
-	if sink != nil {
+	for _, sink := range sinks {
 		sink(ev)
 	}
 	return &Span{r: r, id: id, parent: parent, name: name, start: start}
@@ -311,9 +342,9 @@ func (s *Span) End(kv ...any) {
 	data["durSim"] = dur.Round(time.Millisecond).String()
 	data["seconds"] = dur.Seconds()
 	ev := r.emitLocked("span.end", data)
-	sink := r.sink
+	sinks := r.sinkList
 	r.mu.Unlock()
-	if sink != nil {
+	for _, sink := range sinks {
 		sink(ev)
 	}
 }

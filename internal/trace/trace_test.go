@@ -243,6 +243,35 @@ func TestSinkReceivesEveryEvent(t *testing.T) {
 	nilRec.SetSink(func(Event) {}) // must not panic
 }
 
+// TestNamedSinksAreIndependent covers the multi-consumer contract: the
+// observability tap and the cost profiler attach under distinct names
+// and both see every event; re-registering a name replaces only that
+// sink (idempotent plane re-taps at host boot).
+func TestNamedSinksAreIndependent(t *testing.T) {
+	r := New(nil, 0)
+	var a, b int
+	r.SetNamedSink("obs", func(Event) { a++ })
+	r.SetNamedSink("profile", func(Event) { b++ })
+	r.Emit("one")
+	r.Emit("two")
+	if a != 2 || b != 2 {
+		t.Errorf("sink counts = %d/%d, want 2/2", a, b)
+	}
+	// Replacing one name must not duplicate or disturb the other.
+	r.SetNamedSink("obs", func(Event) { a += 10 })
+	r.Emit("three")
+	if a != 12 || b != 3 {
+		t.Errorf("after replace: counts = %d/%d, want 12/3", a, b)
+	}
+	r.SetNamedSink("profile", nil)
+	r.Emit("four")
+	if a != 22 || b != 3 {
+		t.Errorf("after removal: counts = %d/%d, want 22/3", a, b)
+	}
+	var nilRec *Recorder
+	nilRec.SetNamedSink("x", func(Event) {}) // must not panic
+}
+
 func TestFlushFlushesBufferedWriter(t *testing.T) {
 	var buf bytes.Buffer
 	bw := bufio.NewWriterSize(&buf, 1<<16)
