@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race vet bench bench-short tables demo fuzz profile-gate clean
+.PHONY: all build test test-short test-race vet bench bench-short tables demo fuzz profile-gate parallel-gate clean
 
 all: build vet test
 
@@ -57,6 +57,18 @@ demo:
 profile-gate: build
 	$(GO) run ./cmd/hyperhammer -short -attempts 2 -artifact run_artifact.json > /dev/null; test -s run_artifact.json
 	$(GO) run ./cmd/hh-diff -sim-tol 0.05 -count-tol 0.05 testdata/baselines/short-seed4.json run_artifact.json
+
+# Parallel-determinism gate: the full short evaluation run twice, at
+# -parallel 1 and -parallel 4, must produce byte-identical stdout and
+# trace streams and a zero-tolerance hh-diff match on the artifact.
+parallel-gate:
+	$(GO) build -o bin/ ./cmd/hh-tables ./cmd/hh-diff
+	bin/hh-tables -short -all -parallel 1 -trace seq.trace -artifact seq.json > seq.txt
+	bin/hh-tables -short -all -parallel 4 -trace par.trace -artifact par.json > par.txt
+	diff seq.txt par.txt
+	cmp seq.trace par.trace
+	bin/hh-diff seq.json par.json
+	rm -f seq.trace par.trace seq.json par.json seq.txt par.txt
 
 # Brief fuzzing pass over the fuzz targets.
 fuzz:

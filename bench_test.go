@@ -14,6 +14,8 @@
 package hyperhammer_test
 
 import (
+	"os"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -23,6 +25,16 @@ import (
 func benchOpts(b *testing.B) experiments.Options {
 	o := experiments.DefaultOptions()
 	o.Short = testing.Short()
+	// HH_PARALLEL sets the experiment worker-pool size, like the CLIs'
+	// -parallel flag (0/unset = GOMAXPROCS, 1 = sequential). Results
+	// are identical at any setting; only wall clock changes.
+	if v := os.Getenv("HH_PARALLEL"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			b.Fatalf("bad HH_PARALLEL %q: %v", v, err)
+		}
+		o.Parallel = n
+	}
 	return o
 }
 

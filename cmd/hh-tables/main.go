@@ -55,10 +55,11 @@ func main() {
 	obsSample := flag.Duration("obs-sample", time.Second, "simulated-time interval between observability samples")
 	obsHold := flag.Duration("obs-hold", 0, "keep the observability server up this long (wall clock) after the run ends")
 	artifactPath := flag.String("artifact", "", "write the self-describing run bundle (config, metrics, cost profile) to this file for hh-diff")
+	parallel := flag.Int("parallel", 0, "worker-pool size for independent experiment units (0 = GOMAXPROCS, 1 = sequential; results are identical at any setting)")
 	flag.Var(&tables, "table", "table number to reproduce (repeatable: 1, 2, 3)")
 	flag.Parse()
 
-	o := experiments.Options{Seed: *seed, Short: *short, MaxAttempts: *attempts}
+	o := experiments.Options{Seed: *seed, Short: *short, MaxAttempts: *attempts, Parallel: *parallel}
 	var traceFile *os.File
 	if *tracePath != "" {
 		f, err := os.Create(*tracePath)
@@ -94,8 +95,12 @@ func main() {
 	}
 	var profiler *hyperhammer.CostProfiler
 	if *artifactPath != "" {
+		// The profiler is NOT attached as a sink on the shared
+		// recorder: every unit folds spans over its own scoped
+		// recorder and the plan absorbs the per-unit profiles at
+		// delivery. A shared sink would count the absorbed replays a
+		// second time.
 		profiler = hyperhammer.NewCostProfiler(o.Metrics)
-		o.Trace.SetNamedSink("profile", profiler.Consume)
 	}
 	// Progress lines carry the simulated clock of the most recently
 	// booted host — each experiment restarts it.
@@ -124,6 +129,13 @@ func main() {
 		plane := hyperhammer.NewObs(o.Metrics, hyperhammer.ObsConfig{SampleEvery: *obsSample})
 		plane.AttachProfile(profiler)
 		o.Obs = plane
+		// Units run hosts with Obs unset, so nothing ever taps the
+		// shared recorder implicitly; tap it here so absorbed unit
+		// events stream onto the live bus — then detach the profile
+		// sink TapTrace installs, for the same double-count reason as
+		// above.
+		plane.TapTrace(o.Trace)
+		o.Trace.SetNamedSink("profile", nil)
 		var err error
 		if srv, err = plane.Serve(*obsAddr); err != nil {
 			fmt.Fprintf(os.Stderr, "hh-tables: %v\n", err)
@@ -140,6 +152,7 @@ func main() {
 		a.CreatedAt = time.Now().UTC().Format(time.RFC3339)
 		a.Config["short"] = strconv.FormatBool(*short)
 		a.Config["attempts"] = strconv.Itoa(*attempts)
+		a.Config["parallel"] = strconv.Itoa(*parallel)
 		a.Config["selection"] = strings.Join(os.Args[1:], " ")
 		a.SimSeconds = o.Metrics.SimTime().Seconds()
 		a.Metrics = o.Metrics.Snapshot()
@@ -182,129 +195,114 @@ func main() {
 		}
 		return false
 	}
-	ran := false
-	fail := func(what string, err error) {
-		fmt.Fprintf(os.Stderr, "hh-tables: %s: %v\n", what, err)
+	// Every selected experiment registers its units on one shared
+	// plan; the plan fans independent units across the worker pool and
+	// folds results — values and telemetry alike — in declaration
+	// order, so stdout, metrics, traces and the artifact are identical
+	// at any -parallel setting. Printing happens after Run, from the
+	// resolved futures, in the same order as the sequential CLI.
+	p := experiments.NewPlan(o)
+	p.SetProfiler(profiler)
+	var prints []func()
+	sel := func(what string, reg func()) {
+		log.Info("queueing", "artifact", what)
+		reg()
+	}
+
+	var t1f *experiments.Future[*experiments.Table1Result]
+	if want(1) {
+		sel("table 1", func() {
+			f := p.Table1()
+			t1f = f
+			prints = append(prints, func() { fmt.Println(f.Get().Table()) })
+		})
+	}
+	if want(2) {
+		sel("table 2", func() {
+			f := p.Table2()
+			prints = append(prints, func() { fmt.Println(f.Get().Table()) })
+		})
+	}
+	if want(3) {
+		sel("table 3", func() {
+			f := p.Table3()
+			prints = append(prints, func() { fmt.Println(f.Get().Table()) })
+		})
+	}
+	if *figure || *all {
+		sel("figure 3", func() {
+			f := p.Figure3()
+			prints = append(prints, func() {
+				fmt.Println(f.Get().Figure())
+				fmt.Println("summary:")
+				fmt.Println(f.Get().Figure().Summary())
+			})
+		})
+	}
+	if *analysis || *all {
+		sel("analysis", func() {
+			in := t1f
+			if in == nil {
+				in = experiments.Resolved[*experiments.Table1Result](nil)
+			}
+			f := p.Analysis(in)
+			prints = append(prints, func() {
+				fmt.Println(f.Get().Table())
+				fmt.Println(experiments.VMSize(o).Table())
+			})
+		})
+	}
+	if *extras || *all {
+		sel("extras", func() {
+			dd := p.DRAMDig()
+			mit := p.Mitigation()
+			xen := p.Xen()
+			bal := p.Balloon()
+			trr := p.TRR()
+			ecc := p.ECC()
+			mh := p.Multihit()
+			prints = append(prints, func() {
+				fmt.Println(dd.Get().Table())
+				fmt.Println(mit.Get().Table())
+				fmt.Println(xen.Get().Table())
+				fmt.Println(bal.Get().Table())
+				fmt.Println(trr.Get().Table())
+				fmt.Println(ecc.Get().Table())
+				fmt.Println(mh.Get().Table())
+			})
+		})
+	}
+	if *ablations || *all {
+		sel("ablations", func() {
+			side := p.AblationSidedness()
+			ex := p.AblationNoExhaust()
+			spray := p.AblationSpraySize()
+			thp := p.AblationTHP()
+			pcp := p.AblationPCPNoise()
+			prints = append(prints, func() {
+				fmt.Println(side.Get().Table())
+				fmt.Println(ex.Get().Table())
+				fmt.Println(spray.Get().Table())
+				fmt.Println(thp.Get().Table())
+				fmt.Println(pcp.Get().Table())
+			})
+		})
+	}
+	if p.Units() == 0 {
+		fmt.Fprintln(os.Stderr, "hh-tables: nothing selected; try -all or -table N")
+		fmt.Fprintln(os.Stderr, strings.TrimSpace(`
+flags: -table N (repeatable) -figure -analysis -extras -ablations -all -short -seed S -attempts N -parallel N -obs ADDR`))
+		shutdown()
+		os.Exit(2)
+	}
+	log.Info("running", "units", strconv.Itoa(p.Units()))
+	if err := p.Run(); err != nil {
+		fmt.Fprintf(os.Stderr, "hh-tables: %v\n", err)
 		shutdown()
 		os.Exit(1)
 	}
-	run := func(what string) {
-		ran = true
-		log.Info("running", "artifact", what)
-	}
-
-	var t1 *experiments.Table1Result
-	if want(1) {
-		run("table 1")
-		var err error
-		if t1, err = experiments.Table1(o); err != nil {
-			fail("table 1", err)
-		}
-		fmt.Println(t1.Table())
-	}
-	if want(2) {
-		run("table 2")
-		t2, err := experiments.Table2(o)
-		if err != nil {
-			fail("table 2", err)
-		}
-		fmt.Println(t2.Table())
-	}
-	if want(3) {
-		run("table 3")
-		t3, err := experiments.Table3(o)
-		if err != nil {
-			fail("table 3", err)
-		}
-		fmt.Println(t3.Table())
-	}
-	if *figure || *all {
-		run("figure 3")
-		f3, err := experiments.Figure3(o)
-		if err != nil {
-			fail("figure 3", err)
-		}
-		fmt.Println(f3.Figure())
-		fmt.Println("summary:")
-		fmt.Println(f3.Figure().Summary())
-	}
-	if *analysis || *all {
-		run("analysis")
-		fmt.Println(experiments.Analysis(o, t1).Table())
-		fmt.Println(experiments.VMSize(o).Table())
-	}
-	if *extras || *all {
-		run("extras")
-		dd, err := experiments.DRAMDig(o)
-		if err != nil {
-			fail("dramdig", err)
-		}
-		fmt.Println(dd.Table())
-		mit, err := experiments.Mitigation(o)
-		if err != nil {
-			fail("mitigation", err)
-		}
-		fmt.Println(mit.Table())
-		xen, err := experiments.Xen(o)
-		if err != nil {
-			fail("xen", err)
-		}
-		fmt.Println(xen.Table())
-		bal, err := experiments.Balloon(o)
-		if err != nil {
-			fail("balloon", err)
-		}
-		fmt.Println(bal.Table())
-		trr, err := experiments.TRR(o)
-		if err != nil {
-			fail("trr", err)
-		}
-		fmt.Println(trr.Table())
-		ecc, err := experiments.ECC(o)
-		if err != nil {
-			fail("ecc", err)
-		}
-		fmt.Println(ecc.Table())
-		mh, err := experiments.Multihit(o)
-		if err != nil {
-			fail("multihit", err)
-		}
-		fmt.Println(mh.Table())
-	}
-	if *ablations || *all {
-		run("ablations")
-		side, err := experiments.AblationSidedness(o)
-		if err != nil {
-			fail("ablation sidedness", err)
-		}
-		fmt.Println(side.Table())
-		ex, err := experiments.AblationNoExhaust(o)
-		if err != nil {
-			fail("ablation exhaust", err)
-		}
-		fmt.Println(ex.Table())
-		spray, err := experiments.AblationSpraySize(o)
-		if err != nil {
-			fail("ablation spray", err)
-		}
-		fmt.Println(spray.Table())
-		thp, err := experiments.AblationTHP(o)
-		if err != nil {
-			fail("ablation thp", err)
-		}
-		fmt.Println(thp.Table())
-		pcp, err := experiments.AblationPCPNoise(o)
-		if err != nil {
-			fail("ablation pcp", err)
-		}
-		fmt.Println(pcp.Table())
-	}
-	if !ran {
-		fmt.Fprintln(os.Stderr, "hh-tables: nothing selected; try -all or -table N")
-		fmt.Fprintln(os.Stderr, strings.TrimSpace(`
-flags: -table N (repeatable) -figure -analysis -extras -ablations -all -short -seed S -attempts N -obs ADDR`))
-		shutdown()
-		os.Exit(2)
+	for _, print := range prints {
+		print()
 	}
 	shutdown()
 }

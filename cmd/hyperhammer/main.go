@@ -40,6 +40,7 @@ func main() {
 	obsHold := flag.Duration("obs-hold", 0, "keep the observability server up this long (wall clock) after the campaign ends")
 	artifactPath := flag.String("artifact", "", "write the self-describing run bundle (config, metrics, cost profile, outcome) to this file for hh-diff")
 	hammerRounds := flag.Int("hammer-rounds", 0, "activation budget per hammer pattern (0 = attack default)")
+	parallel := flag.Int("parallel", 1, "accepted for CLI symmetry with hh-tables and recorded in the artifact; the single campaign is one serial unit, so it does not change execution")
 	flag.Parse()
 
 	if *seed == 0 {
@@ -192,6 +193,7 @@ func main() {
 		a.Config["short"] = strconv.FormatBool(*short)
 		a.Config["attempts"] = strconv.Itoa(budget)
 		a.Config["hammer-rounds"] = strconv.Itoa(attackCfg.HammerRounds)
+		a.Config["parallel"] = strconv.Itoa(*parallel)
 		a.Config["geometry"] = hostCfg.Geometry.Name
 		a.SimSeconds = reg.SimTime().Seconds()
 		a.Metrics = reg.Snapshot()

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"fmt"
+
 	"hyperhammer/internal/attack"
 	"hyperhammer/internal/guest"
 	"hyperhammer/internal/kvm"
@@ -42,6 +44,21 @@ func (r *SidednessResult) Table() *report.Table {
 // (the only ones the attacker can create) one of those rows is always
 // inside the released hugepage.
 func AblationSidedness(o Options) (*SidednessResult, error) {
+	return planOne(o, (*Plan).AblationSidedness)
+}
+
+// AblationSidedness registers the single profiling unit and returns
+// the future of the sidedness analysis.
+func (p *Plan) AblationSidedness() *Future[*SidednessResult] {
+	f := &Future[*SidednessResult]{}
+	var res *SidednessResult
+	addTyped(p, "ablation.sidedness", sidednessRun,
+		func(r *SidednessResult) { res = r })
+	p.finally(func() error { f.set(res); return nil })
+	return f
+}
+
+func sidednessRun(o Options) (*SidednessResult, error) {
 	sc := shortScale()
 	h, err := o.newHostAt(sc, SystemS1)
 	if err != nil {
@@ -100,17 +117,22 @@ func (r *ExhaustAblationResult) Table() *report.Table {
 // allocations reach when the attacker does or does not drain the
 // noise pages first.
 func AblationNoExhaust(o Options) (*ExhaustAblationResult, error) {
+	return planOne(o, (*Plan).AblationNoExhaust)
+}
+
+// AblationNoExhaust registers the exhaust-on and exhaust-off steering
+// runs as independent units and returns the future of the comparison.
+func (p *Plan) AblationNoExhaust() *Future[*ExhaustAblationResult] {
+	f := &Future[*ExhaustAblationResult]{}
 	res := &ExhaustAblationResult{}
-	var err error
-	res.WithExhaust, err = steerOnce(o, true, 8, 0)
-	if err != nil {
-		return nil, err
-	}
-	res.WithoutExhaust, err = steerOnce(o, false, 8, 0)
-	if err != nil {
-		return nil, err
-	}
-	return res, nil
+	addTyped(p, "ablation.exhaust.on",
+		func(o Options) (Table2Row, error) { return steerOnce(o, true, 8, 0) },
+		func(row Table2Row) { res.WithExhaust = row })
+	addTyped(p, "ablation.exhaust.off",
+		func(o Options) (Table2Row, error) { return steerOnce(o, false, 8, 0) },
+		func(row Table2Row) { res.WithoutExhaust = row })
+	p.finally(func() error { f.set(res); return nil })
+	return f
 }
 
 // SprayAblationResult sweeps the spray budget (Section 4.2.3's
@@ -133,16 +155,23 @@ func (r *SprayAblationResult) Table() *report.Table {
 // to above 512*(B+2), showing the knee the paper's sizing rule sits
 // on.
 func AblationSpraySize(o Options) (*SprayAblationResult, error) {
+	return planOne(o, (*Plan).AblationSpraySize)
+}
+
+// AblationSpraySize registers one steering unit per spray budget and
+// returns the future of the sweep, assembled in budget order.
+func (p *Plan) AblationSpraySize() *Future[*SprayAblationResult] {
 	const blocks = 2
+	f := &Future[*SprayAblationResult]{}
 	res := &SprayAblationResult{}
 	for _, sprayPages := range []int{256, 512, 1024, 512 * (blocks + 1), 512 * (blocks + 2)} {
-		row, err := steerOnce(o, true, blocks, sprayPages)
-		if err != nil {
-			return nil, err
-		}
-		res.Rows = append(res.Rows, row)
+		sprayPages := sprayPages
+		addTyped(p, fmt.Sprintf("ablation.spray.%d", sprayPages),
+			func(o Options) (Table2Row, error) { return steerOnce(o, true, blocks, sprayPages) },
+			func(row Table2Row) { res.Rows = append(res.Rows, row) })
 	}
-	return res, nil
+	p.finally(func() error { f.set(res); return nil })
+	return f
 }
 
 // steerOnce runs the Table 2 workload once at short scale with
@@ -230,62 +259,90 @@ func (r *THPAblationResult) Table() *report.Table {
 // corresponds to physical banks and the profiler's aggressor pairs
 // land in unrelated rows.
 func AblationTHP(o Options) (*THPAblationResult, error) {
+	return planOne(o, (*Plan).AblationTHP)
+}
+
+// thpOutcome is one host's profiling yield and address preservation.
+type thpOutcome struct {
+	flips     int
+	preserved float64
+}
+
+// AblationTHP registers the THP-on and THP-off hosts as independent
+// units and returns the future of the comparison.
+func (p *Plan) AblationTHP() *Future[*THPAblationResult] {
+	f := &Future[*THPAblationResult]{}
 	res := &THPAblationResult{}
 	for _, thp := range []bool{true, false} {
-		sc := shortScale()
-		// A small slice of the machine keeps the THP-off run (which
-		// backs 512 pages per chunk individually) affordable.
-		vmSize := uint64(512 * memdef.MiB)
-		cfg := kvm.Config{
-			Geometry:       sc.geometry(SystemS1),
-			Fault:          sc.fault(SystemS1, o.Seed),
-			THP:            thp,
-			NXHugepages:    true,
-			BootNoisePages: 500,
-			Seed:           o.Seed,
-			Trace:          o.Trace,
-			Metrics:        o.Metrics,
-		}
-		h, err := kvm.NewHost(cfg)
-		if err != nil {
-			return nil, err
-		}
-		vm, err := h.CreateVM(kvm.VMConfig{MemSize: vmSize, VFIOGroups: 1})
-		if err != nil {
-			return nil, err
-		}
-		gos := guest.Boot(vm)
-		acfg := attackConfig(sc, SystemS1)
-		prof, err := attack.Profile(gos, acfg)
-		if err != nil {
-			return nil, err
-		}
-		// Sample low-21-bit preservation across the buffer.
-		preserved, sampled := 0, 0
-		for i := 0; i < prof.Buffer.Hugepages; i += 3 {
-			gva := prof.Buffer.HugepageBase(i) + 0x12345
-			hpa, err := gos.Hypercall(gva &^ 7)
-			if err != nil {
-				continue
-			}
-			sampled++
-			if uint64(hpa)&(memdef.HugePageSize-1) == uint64(gva&^7)&(memdef.HugePageSize-1) {
-				preserved++
-			}
-		}
-		frac := 0.0
-		if sampled > 0 {
-			frac = float64(preserved) / float64(sampled)
-		}
+		thp := thp
+		name := "ablation.thp.off"
 		if thp {
-			res.FlipsWithTHP = prof.Total
-			res.Low21PreservedWithTHP = frac
-		} else {
-			res.FlipsWithoutTHP = prof.Total
-			res.Low21PreservedWithoutTHP = frac
+			name = "ablation.thp.on"
+		}
+		addTyped(p, name,
+			func(o Options) (thpOutcome, error) { return thpRun(o, thp) },
+			func(out thpOutcome) {
+				if thp {
+					res.FlipsWithTHP = out.flips
+					res.Low21PreservedWithTHP = out.preserved
+				} else {
+					res.FlipsWithoutTHP = out.flips
+					res.Low21PreservedWithoutTHP = out.preserved
+				}
+			})
+	}
+	p.finally(func() error { f.set(res); return nil })
+	return f
+}
+
+// thpRun profiles one host and samples low-21-bit preservation.
+func thpRun(o Options, thp bool) (thpOutcome, error) {
+	sc := shortScale()
+	// A small slice of the machine keeps the THP-off run (which
+	// backs 512 pages per chunk individually) affordable.
+	vmSize := uint64(512 * memdef.MiB)
+	cfg := kvm.Config{
+		Geometry:       sc.geometry(SystemS1),
+		Fault:          sc.fault(SystemS1, o.Seed),
+		THP:            thp,
+		NXHugepages:    true,
+		BootNoisePages: 500,
+		Seed:           o.Seed,
+		Trace:          o.Trace,
+		Metrics:        o.Metrics,
+	}
+	h, err := kvm.NewHost(cfg)
+	if err != nil {
+		return thpOutcome{}, err
+	}
+	vm, err := h.CreateVM(kvm.VMConfig{MemSize: vmSize, VFIOGroups: 1})
+	if err != nil {
+		return thpOutcome{}, err
+	}
+	gos := guest.Boot(vm)
+	acfg := attackConfig(sc, SystemS1)
+	prof, err := attack.Profile(gos, acfg)
+	if err != nil {
+		return thpOutcome{}, err
+	}
+	// Sample low-21-bit preservation across the buffer.
+	preserved, sampled := 0, 0
+	for i := 0; i < prof.Buffer.Hugepages; i += 3 {
+		gva := prof.Buffer.HugepageBase(i) + 0x12345
+		hpa, err := gos.Hypercall(gva &^ 7)
+		if err != nil {
+			continue
+		}
+		sampled++
+		if uint64(hpa)&(memdef.HugePageSize-1) == uint64(gva&^7)&(memdef.HugePageSize-1) {
+			preserved++
 		}
 	}
-	return res, nil
+	frac := 0.0
+	if sampled > 0 {
+		frac = float64(preserved) / float64(sampled)
+	}
+	return thpOutcome{flips: prof.Total, preserved: frac}, nil
 }
 
 // PCPAblationResult shows the "+2" headroom of the 512*(N+2) sizing
@@ -309,16 +366,21 @@ func (r *PCPAblationResult) Table() *report.Table {
 // AblationPCPNoise compares the exact spray budget against the paper's
 // padded budget.
 func AblationPCPNoise(o Options) (*PCPAblationResult, error) {
+	return planOne(o, (*Plan).AblationPCPNoise)
+}
+
+// AblationPCPNoise registers the exact and padded spray budgets as
+// independent units and returns the future of the comparison.
+func (p *Plan) AblationPCPNoise() *Future[*PCPAblationResult] {
 	const blocks = 2
+	f := &Future[*PCPAblationResult]{}
 	res := &PCPAblationResult{}
-	var err error
-	res.ExactSpray, err = steerOnce(o, true, blocks, 512*blocks)
-	if err != nil {
-		return nil, err
-	}
-	res.HeadroomSpray, err = steerOnce(o, true, blocks, 512*(blocks+2))
-	if err != nil {
-		return nil, err
-	}
-	return res, nil
+	addTyped(p, "ablation.pcp.exact",
+		func(o Options) (Table2Row, error) { return steerOnce(o, true, blocks, 512*blocks) },
+		func(row Table2Row) { res.ExactSpray = row })
+	addTyped(p, "ablation.pcp.headroom",
+		func(o Options) (Table2Row, error) { return steerOnce(o, true, blocks, 512*(blocks+2)) },
+		func(row Table2Row) { res.HeadroomSpray = row })
+	p.finally(func() error { f.set(res); return nil })
+	return f
 }

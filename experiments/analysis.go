@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"time"
 
 	"hyperhammer/internal/attack"
@@ -47,26 +48,73 @@ func (r *AnalysisResult) Table() *report.Table {
 	return t
 }
 
+// analysisMem returns the (guest, host) sizes the bound is evaluated
+// at: the paper's 13 GiB VM on a 16 GiB host.
+func analysisMem() (uint64, uint64) {
+	return uint64(13 * memdef.GiB), uint64(16 * memdef.GiB)
+}
+
+// analysisMCConfig parameterizes the Monte-Carlo cross-check.
+func analysisMCConfig(o Options) attack.MonteCarloConfig {
+	_, hostMem := analysisMem()
+	return attack.MonteCarloConfig{
+		Seed:    o.Seed,
+		Samples: 500_000,
+		// 12 GiB of 2 MiB sprays -> ~6144 EPT pages over 4M frames.
+		EPTPages:          6144,
+		HostFrames:        int(hostMem / memdef.PageSize),
+		ExploitableBitLow: 21, ExploitableBitHigh: 34,
+	}
+}
+
+// mcShards is how many units the Monte-Carlo sampling fans out as.
+// The estimate is shard-count invariant (per-sample derived draws), so
+// this only tunes scheduling granularity.
+const mcShards = 8
+
 // Analysis computes the paper's analytic results. profile supplies the
 // measured Table 1 numbers the end-to-end estimate consumes; pass nil
 // to use the paper's own published values (72 h / 96 bits on S1,
 // 48 h / 90 bits on S2).
 func Analysis(o Options, profile *Table1Result) *AnalysisResult {
-	guestMem := uint64(13 * memdef.GiB)
-	hostMem := uint64(16 * memdef.GiB)
+	p := NewPlan(o)
+	f := p.Analysis(resolved(profile))
+	// The only units are Monte-Carlo shards, which cannot fail.
+	_ = p.Run()
+	return f.Get()
+}
+
+// Analysis registers the Monte-Carlo sampling as mcShards independent
+// units (summed in shard order at delivery) and assembles the
+// closed-form analysis once t1 — the Table 1 future feeding the
+// end-to-end estimate, possibly resolved(nil) — is available.
+func (p *Plan) Analysis(t1 *Future[*Table1Result]) *Future[*AnalysisResult] {
+	f := &Future[*AnalysisResult]{}
+	cfg := analysisMCConfig(p.o)
+	hits := 0
+	for s := 0; s < mcShards; s++ {
+		s := s
+		addTyped(p, fmt.Sprintf("analysis.mc.%d", s),
+			func(Options) (int, error) { return attack.MonteCarloHits(cfg, s, mcShards), nil },
+			func(h int) { hits += h })
+	}
+	p.finally(func() error {
+		f.set(assembleAnalysis(t1.Get(), float64(hits)/float64(cfg.Samples)))
+		return nil
+	})
+	return f
+}
+
+// assembleAnalysis builds the result from the sampled probability and
+// the (optional) measured Table 1 rows.
+func assembleAnalysis(profile *Table1Result, monteCarlo float64) *AnalysisResult {
+	guestMem, hostMem := analysisMem()
 	res := &AnalysisResult{
 		GuestMem:         guestMem,
 		HostMem:          hostMem,
 		Bound:            attack.SuccessBound(guestMem, hostMem),
 		ExpectedAttempts: attack.ExpectedAttempts(guestMem, hostMem),
-		MonteCarlo: attack.MonteCarloSuccess(attack.MonteCarloConfig{
-			Seed:    o.Seed,
-			Samples: 500_000,
-			// 12 GiB of 2 MiB sprays -> ~6144 EPT pages over 4M frames.
-			EPTPages:          6144,
-			HostFrames:        int(hostMem / memdef.PageSize),
-			ExploitableBitLow: 21, ExploitableBitHigh: 34,
-		}),
+		MonteCarlo:       monteCarlo,
 	}
 	rows := []EndToEndRow{
 		{System: SystemS1, FullProfile: 72 * time.Hour, ExploitableBits: 96, TargetBits: 12},

@@ -56,28 +56,43 @@ func (r *BalloonResult) Table() *report.Table {
 // a spray never does. The numbers quantify why the paper leaves the
 // balloon variant to future work.
 func Balloon(o Options) (*BalloonResult, error) {
+	return planOne(o, (*Plan).Balloon)
+}
+
+// Balloon registers the virtio-mem reference and both balloon variants
+// as independent units and returns the future of the comparison. Row
+// order (mem reference, drained, undrained) is preserved by the
+// scheduler's ordered delivery.
+func (p *Plan) Balloon() *Future[*BalloonResult] {
+	f := &Future[*BalloonResult]{}
 	res := &BalloonResult{}
-
+	store := func(row BalloonRow) { res.Rows = append(res.Rows, row) }
 	// Reference: the paper's virtio-mem path at the same scale.
-	memRow, err := steerOnce(o, true, 2, 0)
-	if err != nil {
-		return nil, err
-	}
-	res.Rows = append(res.Rows, BalloonRow{
-		Path:       "virtio-mem (paper)",
-		Released:   memRow.Released,
-		TablePages: memRow.EPTPages,
-		Reused:     memRow.Reused,
-	})
-
+	addTyped(p, "balloon.mem-ref",
+		func(o Options) (BalloonRow, error) {
+			memRow, err := steerOnce(o, true, 2, 0)
+			if err != nil {
+				return BalloonRow{}, err
+			}
+			return BalloonRow{
+				Path:       "virtio-mem (paper)",
+				Released:   memRow.Released,
+				TablePages: memRow.EPTPages,
+				Reused:     memRow.Reused,
+			}, nil
+		}, store)
 	for _, drain := range []bool{true, false} {
-		row, err := balloonRun(o, drain)
-		if err != nil {
-			return nil, err
+		drain := drain
+		name := "balloon.no-drain"
+		if drain {
+			name = "balloon.drain"
 		}
-		res.Rows = append(res.Rows, row)
+		addTyped(p, name,
+			func(o Options) (BalloonRow, error) { return balloonRun(o, drain) },
+			store)
 	}
-	return res, nil
+	p.finally(func() error { f.set(res); return nil })
+	return f
 }
 
 func balloonRun(o Options, drain bool) (BalloonRow, error) {

@@ -32,18 +32,29 @@ type Options struct {
 	Short bool
 	// MaxAttempts caps the Table 3 campaigns (0 = scale default).
 	MaxAttempts int
+	// Parallel is the experiment engine's worker-pool size: how many
+	// independent units (hosts) run concurrently. 0 selects GOMAXPROCS.
+	// Results are byte-identical at every value — units run against
+	// scoped telemetry and are folded in declaration order (see
+	// plan.go).
+	Parallel int
 	// Trace, when non-nil, receives host- and tool-side events from
-	// every host the experiments boot. Hosts share one recorder, so
-	// events from different experiments interleave in emission order.
+	// every host the experiments boot. Each scheduled unit records into
+	// its own scoped recorder; completed units replay into this one in
+	// declaration order, so the merged stream is deterministic for a
+	// fixed seed regardless of Parallel.
 	Trace *trace.Recorder
 	// Metrics, when non-nil, aggregates instrumentation across every
-	// booted host into one registry. Per-host clocks rebind on each
-	// boot, so sim_seconds reflects the most recent host.
+	// booted host into one registry. Each unit meters into its own
+	// scoped registry, bound to its host's clock exactly once;
+	// completed units' snapshots are absorbed in declaration order, and
+	// sim_seconds accumulates across hosts instead of reflecting only
+	// the most recent boot.
 	Metrics *metrics.Registry
-	// Obs, when non-nil, is the live observability plane. Every booted
-	// host arms its sampler and taps its trace stream, so a browser
-	// watching the plane's server sees each experiment's hosts come and
-	// go in turn.
+	// Obs, when non-nil, is the live observability plane. Concurrent
+	// units never drive its sampler directly (their telemetry is
+	// scoped); the engine samples the shared registry once per
+	// completed unit, tagging the series points with the unit's name.
 	Obs *obs.Plane
 }
 

@@ -49,36 +49,52 @@ func (r *DRAMDigResult) Table() *report.Table {
 // and verifies the paper's two claims: the recovery matches the real
 // function, and every function bit is preserved by THP translation.
 func DRAMDig(o Options) (*DRAMDigResult, error) {
+	return planOne(o, (*Plan).DRAMDig)
+}
+
+// DRAMDig registers one per-geometry recovery unit per system and
+// returns the future of the assembled table.
+func (p *Plan) DRAMDig() *Future[*DRAMDigResult] {
+	f := &Future[*DRAMDigResult]{}
 	res := &DRAMDigResult{}
 	for _, sys := range []System{SystemS1, SystemS2} {
-		geo := dram.CoreI310100()
-		if sys == SystemS2 {
-			geo = dram.XeonE32124()
-		}
-		timing := dram.NewTiming(geo, o.Seed^0xD1)
-		cfg := dramdig.DefaultConfig(geo.Size)
-		cfg.Seed = o.Seed ^ 0xD2
-		cfg.Trace = o.Trace
-		rec, err := dramdig.Recover(timing, cfg)
-		if err != nil {
-			return nil, fmt.Errorf("dramdig %s: %w", sys, err)
-		}
-		matches := true
-		base := memdef.HPA(5 * memdef.GiB)
-		for off := uint64(0); off < 512*memdef.KiB && matches; off += 64 * 3 {
-			a, b := base, base+memdef.HPA(off)
-			matches = rec.SameBank(a, b) == (geo.Bank(a) == geo.Bank(b))
-		}
-		res.Rows = append(res.Rows, DRAMDigRow{
-			System:        sys,
-			Banks:         rec.Banks,
-			MaskCount:     len(rec.Masks),
-			Probes:        rec.ProbeCount,
-			Matches:       matches,
-			THPCompatible: rec.AllBitsBelow(22),
-		})
+		sys := sys
+		addTyped(p, "dramdig."+sys.String(),
+			func(o Options) (DRAMDigRow, error) { return dramdigRun(o, sys) },
+			func(row DRAMDigRow) { res.Rows = append(res.Rows, row) })
 	}
-	return res, nil
+	p.finally(func() error { f.set(res); return nil })
+	return f
+}
+
+// dramdigRun recovers and verifies one system's bank function.
+func dramdigRun(o Options, sys System) (DRAMDigRow, error) {
+	geo := dram.CoreI310100()
+	if sys == SystemS2 {
+		geo = dram.XeonE32124()
+	}
+	timing := dram.NewTiming(geo, o.Seed^0xD1)
+	cfg := dramdig.DefaultConfig(geo.Size)
+	cfg.Seed = o.Seed ^ 0xD2
+	cfg.Trace = o.Trace
+	rec, err := dramdig.Recover(timing, cfg)
+	if err != nil {
+		return DRAMDigRow{}, fmt.Errorf("dramdig %s: %w", sys, err)
+	}
+	matches := true
+	base := memdef.HPA(5 * memdef.GiB)
+	for off := uint64(0); off < 512*memdef.KiB && matches; off += 64 * 3 {
+		a, b := base, base+memdef.HPA(off)
+		matches = rec.SameBank(a, b) == (geo.Bank(a) == geo.Bank(b))
+	}
+	return DRAMDigRow{
+		System:        sys,
+		Banks:         rec.Banks,
+		MaskCount:     len(rec.Masks),
+		Probes:        rec.ProbeCount,
+		Matches:       matches,
+		THPCompatible: rec.AllBitsBelow(22),
+	}, nil
 }
 
 // MitigationResult evaluates the Section 6 quarantine countermeasure.
@@ -109,66 +125,94 @@ func (r *MitigationResult) Table() *report.Table {
 // Mitigation runs Page Steering's release step against a stock host
 // and a quarantined host and compares.
 func Mitigation(o Options) (*MitigationResult, error) {
+	return planOne(o, (*Plan).Mitigation)
+}
+
+// mitigationOutcome is what one host (stock or quarantined) reports.
+type mitigationOutcome struct {
+	released, nacks int
+	legit           bool
+}
+
+// Mitigation registers the stock host and the quarantined host as
+// independent units and returns the future of the comparison.
+func (p *Plan) Mitigation() *Future[*MitigationResult] {
+	f := &Future[*MitigationResult]{}
 	res := &MitigationResult{}
+	for _, guarded := range []bool{false, true} {
+		guarded := guarded
+		name := "mitigation.stock"
+		if guarded {
+			name = "mitigation.quarantined"
+		}
+		addTyped(p, name,
+			func(o Options) (mitigationOutcome, error) { return mitigationRun(o, guarded) },
+			func(out mitigationOutcome) {
+				if guarded {
+					res.QuarantinedReleased = out.released
+					res.NACKs = out.nacks
+					res.LegitResizeOK = out.legit
+				} else {
+					res.StockReleased = out.released
+				}
+			})
+	}
+	p.finally(func() error { f.set(res); return nil })
+	return f
+}
+
+// mitigationRun boots one host (quarantined when guarded), attempts
+// the malicious releases, then an honest resize.
+func mitigationRun(o Options, guarded bool) (mitigationOutcome, error) {
 	sc := o.scale()
-
-	releaseAttempts := func(guard virtio.Guard) (released, nacks int, legit bool, err error) {
-		cfg := kvm.Config{
-			Geometry:       sc.geometry(SystemS1),
-			Fault:          sc.fault(SystemS1, o.Seed),
-			THP:            true,
-			NXHugepages:    true,
-			BootNoisePages: 1000,
-			Seed:           o.Seed,
-			Quarantine:     guard,
-			Trace:          o.Trace,
-			Metrics:        o.Metrics,
-		}
-		h, err := kvm.NewHost(cfg)
-		if err != nil {
-			return 0, 0, false, err
-		}
-		vm, err := h.CreateVM(kvm.VMConfig{MemSize: sc.vmSize / 2, VFIOGroups: 1})
-		if err != nil {
-			return 0, 0, false, err
-		}
-		gos := guest.Boot(vm)
-		gos.InstallAttackDriver()
-		base, err := gos.AllocHuge(16)
-		if err != nil {
-			return 0, 0, false, err
-		}
-		for i := 0; i < 8; i++ {
-			gva := base + memdef.GVA(i)*memdef.HugePageSize
-			if gos.ReleaseHugepage(gva) == nil {
-				released++
-			}
-		}
-		nacks = vm.MemDevice().NACKs()
-		// An honest shrink: hypervisor lowers the target, stock
-		// driver follows.
-		dev := vm.MemDevice()
-		dev.SetRequestedSize(dev.PluggedSize() - 2*memdef.HugePageSize)
-		honest := virtio.NewGuestDriver(dev)
-		honest.OnUnplug = func(gpa memdef.GPA, _ uint64) {}
-		_, serr := honest.SyncToTarget()
-		legit = serr == nil && dev.PluggedSize() == dev.RequestedSize()
-		return released, nacks, legit, nil
+	var guard virtio.Guard
+	if guarded {
+		// Built from the unit's own trace so quarantine events land in
+		// the owning unit's span stream.
+		guard, _ = mitigation.Traced(o.Trace)
 	}
-
-	var err error
-	res.StockReleased, _, _, err = releaseAttempts(nil)
+	cfg := kvm.Config{
+		Geometry:       sc.geometry(SystemS1),
+		Fault:          sc.fault(SystemS1, o.Seed),
+		THP:            true,
+		NXHugepages:    true,
+		BootNoisePages: 1000,
+		Seed:           o.Seed,
+		Quarantine:     guard,
+		Trace:          o.Trace,
+		Metrics:        o.Metrics,
+	}
+	h, err := kvm.NewHost(cfg)
 	if err != nil {
-		return nil, err
+		return mitigationOutcome{}, err
 	}
-	guard, _ := mitigation.Traced(o.Trace)
-	var legit bool
-	res.QuarantinedReleased, res.NACKs, legit, err = releaseAttempts(guard)
+	vm, err := h.CreateVM(kvm.VMConfig{MemSize: sc.vmSize / 2, VFIOGroups: 1})
 	if err != nil {
-		return nil, err
+		return mitigationOutcome{}, err
 	}
-	res.LegitResizeOK = legit
-	return res, nil
+	gos := guest.Boot(vm)
+	gos.InstallAttackDriver()
+	base, err := gos.AllocHuge(16)
+	if err != nil {
+		return mitigationOutcome{}, err
+	}
+	out := mitigationOutcome{}
+	for i := 0; i < 8; i++ {
+		gva := base + memdef.GVA(i)*memdef.HugePageSize
+		if gos.ReleaseHugepage(gva) == nil {
+			out.released++
+		}
+	}
+	out.nacks = vm.MemDevice().NACKs()
+	// An honest shrink: hypervisor lowers the target, stock
+	// driver follows.
+	dev := vm.MemDevice()
+	dev.SetRequestedSize(dev.PluggedSize() - 2*memdef.HugePageSize)
+	honest := virtio.NewGuestDriver(dev)
+	honest.OnUnplug = func(gpa memdef.GPA, _ uint64) {}
+	_, serr := honest.SyncToTarget()
+	out.legit = serr == nil && dev.PluggedSize() == dev.RequestedSize()
+	return out, nil
 }
 
 // XenResult compares Page Steering difficulty on Xen versus KVM
@@ -212,44 +256,64 @@ func (r *XenResult) Table() *report.Table {
 // exhaustion step leaves the noise pages in front of the released
 // blocks and reuse collapses.
 func Xen(o Options) (*XenResult, error) {
-	res := &XenResult{}
+	return planOne(o, (*Plan).Xen)
+}
 
-	// Xen side: 4 GiB heap, 3 GiB domain, release 8 chunks, allocate
-	// p2m pages.
+// Xen registers the Xen-lite heap side and the KVM no-exhaust side as
+// independent units and returns the future of the comparison.
+func (p *Plan) Xen() *Future[*XenResult] {
+	f := &Future[*XenResult]{}
+	res := &XenResult{}
+	addTyped(p, "xen.heap",
+		func(Options) ([2]int, error) { return xenHeapRun() },
+		func(v [2]int) { res.XenReleased, res.XenReused = v[0], v[1] })
+	addTyped(p, "xen.kvm",
+		func(o Options) ([2]int, error) { return xenKVMRun(o) },
+		func(v [2]int) { res.KVMNoExhaustReleased, res.KVMNoExhaustReused = v[0], v[1] })
+	p.finally(func() error { f.set(res); return nil })
+	return f
+}
+
+// xenHeapRun measures steering reuse on the Xen-lite single heap:
+// 4 GiB heap, 3 GiB domain, release 8 chunks, allocate p2m pages.
+func xenHeapRun() ([2]int, error) {
 	heap := xenlite.NewHeap(0, 4*memdef.GiB/memdef.PageSize)
 	dom, err := heap.CreateDomain(3 * memdef.GiB)
 	if err != nil {
-		return nil, err
+		return [2]int{}, err
 	}
 	var chunks []memdef.GPA
 	for i := 0; i < 8; i++ {
 		chunks = append(chunks, memdef.GPA(i)*37*memdef.HugePageSize)
 	}
-	res.XenReleased, res.XenReused, err = dom.SteeringReuse(chunks, 8*memdef.PagesPerHuge)
+	released, reused, err := dom.SteeringReuse(chunks, 8*memdef.PagesPerHuge)
 	if err != nil {
-		return nil, err
+		return [2]int{}, err
 	}
+	return [2]int{released, reused}, nil
+}
 
-	// KVM side: same shape, but skip exhaustion.
+// xenKVMRun measures the same shape on KVM, but skips exhaustion.
+func xenKVMRun(o Options) ([2]int, error) {
 	sc := shortScale()
 	h, err := o.newHostAt(sc, SystemS1)
 	if err != nil {
-		return nil, err
+		return [2]int{}, err
 	}
 	vm, err := h.CreateVM(kvm.VMConfig{MemSize: sc.vmSize, VFIOGroups: 1})
 	if err != nil {
-		return nil, err
+		return [2]int{}, err
 	}
 	gos := guest.Boot(vm)
 	gos.InstallAttackDriver()
 	n := gos.FreeHugepages()
 	base, err := gos.AllocHuge(n)
 	if err != nil {
-		return nil, err
+		return [2]int{}, err
 	}
 	for i := 1; i <= 8; i++ {
 		if err := gos.ReleaseHugepage(base + memdef.GVA(i*37)*memdef.HugePageSize); err != nil {
-			return nil, err
+			return [2]int{}, err
 		}
 	}
 	for i := 0; i < n; i++ {
@@ -258,13 +322,11 @@ func Xen(o Options) (*XenResult, error) {
 			continue // released
 		}
 		if _, err := gos.Exec(gva); err != nil {
-			return nil, err
+			return [2]int{}, err
 		}
 	}
 	stats := vm.EPTReuse()
-	res.KVMNoExhaustReleased = stats.ReleasedPages
-	res.KVMNoExhaustReused = stats.ReusedPages
-	return res, nil
+	return [2]int{stats.ReleasedPages, stats.ReusedPages}, nil
 }
 
 // newHostAt boots a host at an explicit scale (used by comparisons

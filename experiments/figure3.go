@@ -71,15 +71,28 @@ func (r *Figure3Result) DropBelow(sys System, threshold int) float64 {
 // and sample the host's noise-page count from /proc/pagetypeinfo
 // concurrently.
 func Figure3(o Options) (*Figure3Result, error) {
+	return planOne(o, (*Plan).Figure3)
+}
+
+// Figure3 registers one exhaustion trace per system as independent
+// units and returns the future of the assembled figure.
+func (p *Plan) Figure3() *Future[*Figure3Result] {
+	f := &Future[*Figure3Result]{}
 	res := &Figure3Result{Threshold512: 512, Threshold1024: 1024}
 	for _, sys := range []System{SystemS1, SystemS2, SystemS3} {
-		series, err := figure3System(o, sys)
-		if err != nil {
-			return nil, fmt.Errorf("figure 3 %s: %w", sys, err)
-		}
-		res.Series = append(res.Series, series)
+		sys := sys
+		addTyped(p, "figure3."+sys.String(),
+			func(o Options) (Figure3Series, error) {
+				series, err := figure3System(o, sys)
+				if err != nil {
+					return Figure3Series{}, fmt.Errorf("figure 3 %s: %w", sys, err)
+				}
+				return series, nil
+			},
+			func(s Figure3Series) { res.Series = append(res.Series, s) })
 	}
-	return res, nil
+	p.finally(func() error { f.set(res); return nil })
+	return f
 }
 
 func figure3System(o Options, sys System) (Figure3Series, error) {

@@ -48,63 +48,81 @@ func (r *TRRResult) Table() *report.Table {
 // the narrow pattern cold, while the many-sided pattern overwhelms the
 // tracker and still flips bits.
 func TRR(o Options) (*TRRResult, error) {
+	return planOne(o, (*Plan).TRR)
+}
+
+// TRR registers each DIMM variant's pattern search as an independent
+// unit and returns the future of the assembled comparison.
+func (p *Plan) TRR() *Future[*TRRResult] {
+	f := &Future[*TRRResult]{}
 	res := &TRRResult{}
+	for _, variant := range []struct {
+		unit, name string
+		trr        *dram.TRRConfig
+	}{
+		{"trr.off", "no TRR", nil},
+		{"trr.4slot", "TRR (4 slots)", &dram.TRRConfig{Slots: 4, Seed: p.o.Seed ^ 0x7272}},
+	} {
+		variant := variant
+		addTyped(p, variant.unit,
+			func(o Options) ([]TRRRow, error) { return trrRun(o, variant.name, variant.trr) },
+			func(rows []TRRRow) { res.Rows = append(res.Rows, rows...) })
+	}
+	p.finally(func() error { f.set(res); return nil })
+	return f
+}
+
+// trrRun searches both hammer patterns against one DIMM variant.
+func trrRun(o Options, variant string, trr *dram.TRRConfig) ([]TRRRow, error) {
 	patterns := []hammer.Pattern{
 		{Name: "single-sided-2", RowOffsets: []int{6, 7}, Rounds: 250_000},
 		{Name: "many-sided-8", RowOffsets: []int{0, 1, 2, 3, 4, 5, 6, 7}, Rounds: 250_000},
 	}
-	for _, variant := range []struct {
-		name string
-		trr  *dram.TRRConfig
-	}{
-		{"no TRR", nil},
-		{"TRR (4 slots)", &dram.TRRConfig{Slots: 4, Seed: o.Seed ^ 0x7272}},
-	} {
-		fault := dram.FaultModelConfig{
-			Seed: o.Seed ^ 0x55, CellsPerRow: 0.6,
-			ThresholdMin: 50_000, ThresholdMax: 150_000,
-			StableFraction: 0.9, FlakyP: 0.5,
-			NeighborWeight1: 1.0, NeighborWeight2: 0.25,
-			TRR: variant.trr,
-		}
-		sc := shortScale()
-		h, err := kvm.NewHost(kvm.Config{
-			Geometry:       sc.geometry(SystemS1),
-			Fault:          fault,
-			THP:            true,
-			NXHugepages:    true,
-			BootNoisePages: 500,
-			Seed:           o.Seed,
-			Trace:          o.Trace,
-			Metrics:        o.Metrics,
-		})
-		if err != nil {
-			return nil, err
-		}
-		vm, err := h.CreateVM(kvm.VMConfig{MemSize: 512 * memdef.MiB, VFIOGroups: 1})
-		if err != nil {
-			return nil, err
-		}
-		gos := guest.Boot(vm)
-		results, err := hammer.Search(gos, hammer.Config{
-			BankMasks: sc.geometry(SystemS1).BankMasks,
-			RowShift:  18,
-			Hugepages: 96,
-			Repeats:   2,
-		}, patterns)
-		if err != nil {
-			return nil, fmt.Errorf("trr search (%s): %w", variant.name, err)
-		}
-		for _, r := range results {
-			res.Rows = append(res.Rows, TRRRow{
-				DIMM:         variant.name,
-				Pattern:      r.Pattern.Name,
-				Flips:        r.Flips,
-				Reproducible: r.Reproducible,
-			})
-		}
+	fault := dram.FaultModelConfig{
+		Seed: o.Seed ^ 0x55, CellsPerRow: 0.6,
+		ThresholdMin: 50_000, ThresholdMax: 150_000,
+		StableFraction: 0.9, FlakyP: 0.5,
+		NeighborWeight1: 1.0, NeighborWeight2: 0.25,
+		TRR: trr,
 	}
-	return res, nil
+	sc := shortScale()
+	h, err := kvm.NewHost(kvm.Config{
+		Geometry:       sc.geometry(SystemS1),
+		Fault:          fault,
+		THP:            true,
+		NXHugepages:    true,
+		BootNoisePages: 500,
+		Seed:           o.Seed,
+		Trace:          o.Trace,
+		Metrics:        o.Metrics,
+	})
+	if err != nil {
+		return nil, err
+	}
+	vm, err := h.CreateVM(kvm.VMConfig{MemSize: 512 * memdef.MiB, VFIOGroups: 1})
+	if err != nil {
+		return nil, err
+	}
+	gos := guest.Boot(vm)
+	results, err := hammer.Search(gos, hammer.Config{
+		BankMasks: sc.geometry(SystemS1).BankMasks,
+		RowShift:  18,
+		Hugepages: 96,
+		Repeats:   2,
+	}, patterns)
+	if err != nil {
+		return nil, fmt.Errorf("trr search (%s): %w", variant, err)
+	}
+	var rows []TRRRow
+	for _, r := range results {
+		rows = append(rows, TRRRow{
+			DIMM:         variant,
+			Pattern:      r.Pattern.Name,
+			Flips:        r.Flips,
+			Reproducible: r.Reproducible,
+		})
+	}
+	return rows, nil
 }
 
 // ECCResult compares profiling yield on non-ECC and ECC hosts.
@@ -145,48 +163,80 @@ func (r *ECCResult) Table() *report.Table {
 // counters climb), unless a double-bit word machine-checks the host —
 // either way HyperHammer's profiling starves.
 func ECC(o Options) (*ECCResult, error) {
+	return planOne(o, (*Plan).ECC)
+}
+
+// eccOutcome is what one host (ECC or not) reports.
+type eccOutcome struct {
+	flips, corrected, detected int
+	crashed                    bool
+}
+
+// ECC registers the non-ECC and ECC hosts as independent units and
+// returns the future of the comparison.
+func (p *Plan) ECC() *Future[*ECCResult] {
+	f := &Future[*ECCResult]{}
 	res := &ECCResult{}
 	for _, ecc := range []bool{false, true} {
-		sc := shortScale()
-		fault := sc.fault(SystemS1, o.Seed)
-		fault.CellsPerRow = 0.1 // dense enough to see the contrast quickly
-		h, err := kvm.NewHost(kvm.Config{
-			Geometry:       sc.geometry(SystemS1),
-			Fault:          fault,
-			THP:            true,
-			NXHugepages:    true,
-			BootNoisePages: 500,
-			ECC:            ecc,
-			Seed:           o.Seed,
-			Trace:          o.Trace,
-			Metrics:        o.Metrics,
-		})
-		if err != nil {
-			return nil, err
-		}
-		vm, err := h.CreateVM(kvm.VMConfig{MemSize: 1 * memdef.GiB, VFIOGroups: 1})
-		if err != nil {
-			return nil, err
-		}
-		gos := guest.Boot(vm)
-		cfg := attackConfig(sc, SystemS1)
-		prof, err := attack.Profile(gos, cfg)
-		if err != nil && !ecc {
-			return nil, err
-		}
-		flips := 0
-		if prof != nil {
-			flips = prof.Total
-		}
+		ecc := ecc
+		name := "ecc.off"
 		if ecc {
-			res.FlipsECC = flips
-			res.Corrected, res.Detected = h.ECCStats()
-			res.HostCrashed = h.Crashed()
-		} else {
-			res.FlipsNonECC = flips
+			name = "ecc.on"
 		}
+		addTyped(p, name,
+			func(o Options) (eccOutcome, error) { return eccRun(o, ecc) },
+			func(out eccOutcome) {
+				if ecc {
+					res.FlipsECC = out.flips
+					res.Corrected, res.Detected = out.corrected, out.detected
+					res.HostCrashed = out.crashed
+				} else {
+					res.FlipsNonECC = out.flips
+				}
+			})
 	}
-	return res, nil
+	p.finally(func() error { f.set(res); return nil })
+	return f
+}
+
+// eccRun runs the profiling budget on one host.
+func eccRun(o Options, ecc bool) (eccOutcome, error) {
+	sc := shortScale()
+	fault := sc.fault(SystemS1, o.Seed)
+	fault.CellsPerRow = 0.1 // dense enough to see the contrast quickly
+	h, err := kvm.NewHost(kvm.Config{
+		Geometry:       sc.geometry(SystemS1),
+		Fault:          fault,
+		THP:            true,
+		NXHugepages:    true,
+		BootNoisePages: 500,
+		ECC:            ecc,
+		Seed:           o.Seed,
+		Trace:          o.Trace,
+		Metrics:        o.Metrics,
+	})
+	if err != nil {
+		return eccOutcome{}, err
+	}
+	vm, err := h.CreateVM(kvm.VMConfig{MemSize: 1 * memdef.GiB, VFIOGroups: 1})
+	if err != nil {
+		return eccOutcome{}, err
+	}
+	gos := guest.Boot(vm)
+	cfg := attackConfig(sc, SystemS1)
+	prof, err := attack.Profile(gos, cfg)
+	if err != nil && !ecc {
+		return eccOutcome{}, err
+	}
+	out := eccOutcome{}
+	if prof != nil {
+		out.flips = prof.Total
+	}
+	if ecc {
+		out.corrected, out.detected = h.ECCStats()
+		out.crashed = h.Crashed()
+	}
+	return out, nil
 }
 
 // MultihitResult captures the trade-off between the iTLB Multihit DoS
@@ -217,50 +267,79 @@ func (r *MultihitResult) Table() *report.Table {
 // host survives — but every guest code fetch now mints the EPT pages
 // Page Steering feeds on.
 func Multihit(o Options) (*MultihitResult, error) {
+	return planOne(o, (*Plan).Multihit)
+}
+
+// multihitOutcome is one host's DoS-vs-splits measurement.
+type multihitOutcome struct {
+	crashed bool
+	splits  int
+}
+
+// Multihit registers the mitigated and unmitigated hosts as
+// independent units and returns the future of the trade-off.
+func (p *Plan) Multihit() *Future[*MultihitResult] {
+	f := &Future[*MultihitResult]{}
 	res := &MultihitResult{}
 	for _, mitigated := range []bool{true, false} {
-		sc := shortScale()
-		h, err := kvm.NewHost(kvm.Config{
-			Geometry:           sc.geometry(SystemS1),
-			Fault:              sc.fault(SystemS1, o.Seed),
-			THP:                true,
-			NXHugepages:        mitigated,
-			MultihitBugPresent: true,
-			BootNoisePages:     500,
-			Seed:               o.Seed,
-			Trace:              o.Trace,
-			Metrics:            o.Metrics,
-		})
-		if err != nil {
-			return nil, err
-		}
-		vm, err := h.CreateVM(kvm.VMConfig{MemSize: 256 * memdef.MiB, VFIOGroups: 1})
-		if err != nil {
-			return nil, err
-		}
-		gos := guest.Boot(vm)
-		base, err := gos.AllocHuge(64)
-		if err != nil {
-			return nil, err
-		}
-		// The same guest workload on both hosts: execute code in every
-		// hugepage, then attempt the Multihit DoS.
-		for i := 0; i < 64; i++ {
-			if _, err := gos.Exec(base + memdef.GVA(i)*memdef.HugePageSize); err != nil {
-				return nil, err
-			}
-		}
-		crashed, err := gos.TriggerMultihitDoS(base)
-		if err != nil {
-			return nil, err
-		}
+		mitigated := mitigated
+		name := "multihit.unmitigated"
 		if mitigated {
-			res.DoSWithMitigation = crashed
-			res.SplitsWithMitigation = vm.Splits()
-		} else {
-			res.DoSWithoutMitigation = crashed
-			res.SplitsWithoutMitigation = vm.Splits()
+			name = "multihit.mitigated"
+		}
+		addTyped(p, name,
+			func(o Options) (multihitOutcome, error) { return multihitRun(o, mitigated) },
+			func(out multihitOutcome) {
+				if mitigated {
+					res.DoSWithMitigation = out.crashed
+					res.SplitsWithMitigation = out.splits
+				} else {
+					res.DoSWithoutMitigation = out.crashed
+					res.SplitsWithoutMitigation = out.splits
+				}
+			})
+	}
+	p.finally(func() error { f.set(res); return nil })
+	return f
+}
+
+// multihitRun measures one host: exec in every hugepage, then attempt
+// the Multihit DoS.
+func multihitRun(o Options, mitigated bool) (multihitOutcome, error) {
+	sc := shortScale()
+	h, err := kvm.NewHost(kvm.Config{
+		Geometry:           sc.geometry(SystemS1),
+		Fault:              sc.fault(SystemS1, o.Seed),
+		THP:                true,
+		NXHugepages:        mitigated,
+		MultihitBugPresent: true,
+		BootNoisePages:     500,
+		Seed:               o.Seed,
+		Trace:              o.Trace,
+		Metrics:            o.Metrics,
+	})
+	if err != nil {
+		return multihitOutcome{}, err
+	}
+	vm, err := h.CreateVM(kvm.VMConfig{MemSize: 256 * memdef.MiB, VFIOGroups: 1})
+	if err != nil {
+		return multihitOutcome{}, err
+	}
+	gos := guest.Boot(vm)
+	base, err := gos.AllocHuge(64)
+	if err != nil {
+		return multihitOutcome{}, err
+	}
+	// The same guest workload on both hosts: execute code in every
+	// hugepage, then attempt the Multihit DoS.
+	for i := 0; i < 64; i++ {
+		if _, err := gos.Exec(base + memdef.GVA(i)*memdef.HugePageSize); err != nil {
+			return multihitOutcome{}, err
 		}
 	}
-	return res, nil
+	crashed, err := gos.TriggerMultihitDoS(base)
+	if err != nil {
+		return multihitOutcome{}, err
+	}
+	return multihitOutcome{crashed: crashed, splits: vm.Splits()}, nil
 }

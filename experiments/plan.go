@@ -1,0 +1,200 @@
+package experiments
+
+import (
+	"hyperhammer/internal/metrics"
+	"hyperhammer/internal/profile"
+	"hyperhammer/internal/sched"
+	"hyperhammer/internal/trace"
+)
+
+// This file is the deterministic parallel experiment engine. A Plan
+// accumulates the independent units the selected experiments decompose
+// into — one booted host per unit, seeds derived only from
+// Options.Seed — and runs them on internal/sched's bounded worker
+// pool. Determinism does not depend on the worker count:
+//
+//   - Each unit runs against scoped telemetry (its own capture
+//     recorder, registry, and profile builder), so concurrent hosts
+//     never share a clock binding or cross-charge simulated time.
+//
+//   - Completed units are folded into the shared telemetry and into
+//     their experiment's result in declaration order, not completion
+//     order (sched delivers index-ordered).
+//
+//   - Finalizers (table assembly, closed-form analysis) run after all
+//     units, in registration order.
+//
+// Consequently -parallel 1 and -parallel N produce byte-identical
+// tables, metrics, traces, and run artifacts.
+
+// Future is a placeholder for one experiment's assembled result,
+// resolved when the plan's Run completes.
+type Future[T any] struct {
+	v  T
+	ok bool
+}
+
+// Get returns the resolved value; the zero value before Run finishes.
+func (f *Future[T]) Get() T {
+	if f == nil {
+		var zero T
+		return zero
+	}
+	return f.v
+}
+
+func (f *Future[T]) set(v T) { f.v, f.ok = v, true }
+
+// resolved wraps an already-known value, for feeding one experiment's
+// output into another (Analysis consuming Table 1) outside a plan.
+func resolved[T any](v T) *Future[T] {
+	f := &Future[T]{}
+	f.set(v)
+	return f
+}
+
+// Resolved is the exported form of resolved, for callers that need to
+// feed a fixed value (e.g. a nil Table 1) into a plan-registered
+// consumer such as Analysis.
+func Resolved[T any](v T) *Future[T] { return resolved(v) }
+
+// unitScope is one unit's private telemetry, absorbed at delivery.
+type unitScope struct {
+	tr   *trace.Recorder
+	reg  *metrics.Registry
+	prof *profile.Builder
+}
+
+// unitResult pairs a unit's value with its scope for the merge step.
+type unitResult struct {
+	v     any
+	scope *unitScope
+}
+
+// Plan accumulates experiment units and runs them.
+type Plan struct {
+	o        Options
+	profiler *profile.Builder
+	units    []sched.Unit
+	merges   []func(any)
+	finals   []func() error
+}
+
+// NewPlan creates an empty plan over the given options. Experiments
+// registered on the plan observe o's seed and scale; o.Parallel sets
+// the worker-pool size at Run (<= 0 selects GOMAXPROCS).
+func NewPlan(o Options) *Plan { return &Plan{o: o} }
+
+// Units returns the number of registered units.
+func (p *Plan) Units() int { return len(p.units) }
+
+// SetProfiler attaches the shared cost profiler completed units merge
+// into. Each unit profiles live over its own scoped registry (counter
+// deltas attribute correctly only while the unit's host is running),
+// and the folded per-unit profile is absorbed at delivery. The caller
+// must NOT also attach the profiler as a sink on the shared recorder:
+// absorbed span events replaying through such a sink would be counted
+// twice.
+func (p *Plan) SetProfiler(b *profile.Builder) { p.profiler = b }
+
+// add registers one unit. run receives scoped options; store receives
+// the unit's value, in declaration order.
+func (p *Plan) add(name string, run func(Options) (any, error), store func(any)) {
+	parent := p.o
+	profiler := p.profiler
+	p.units = append(p.units, sched.Unit{
+		Name: name,
+		Run: func() (any, error) {
+			uo := parent
+			var scope *unitScope
+			if parent.Trace != nil || parent.Metrics != nil || parent.Obs != nil || profiler != nil {
+				scope = &unitScope{}
+				if parent.Trace != nil || profiler != nil {
+					scope.tr = trace.NewCapture()
+				}
+				if parent.Metrics != nil || profiler != nil {
+					scope.reg = metrics.New()
+				}
+				if profiler != nil {
+					scope.prof = profile.NewBuilder(scope.reg)
+					scope.tr.SetNamedSink("profile", scope.prof.Consume)
+				}
+				uo.Trace = scope.tr
+				uo.Metrics = scope.reg
+				uo.Obs = nil
+			}
+			v, err := run(uo)
+			return unitResult{v: v, scope: scope}, err
+		},
+	})
+	p.merges = append(p.merges, store)
+}
+
+// finally registers a post-run assembly step.
+func (p *Plan) finally(fn func() error) { p.finals = append(p.finals, fn) }
+
+// Run executes every registered unit on the worker pool and resolves
+// every future. Results — telemetry and values alike — are folded in
+// declaration order regardless of completion order; the first failing
+// unit's error (lowest declaration index) aborts the plan.
+func (p *Plan) Run() error {
+	runner := sched.New(p.o.Parallel)
+	err := runner.Run(p.units, func(i int, v any) error {
+		ur := v.(unitResult)
+		p.mergeScope(p.units[i].Name, ur.scope)
+		if p.merges[i] != nil {
+			p.merges[i](ur.v)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, fn := range p.finals {
+		if err := fn(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// mergeScope folds one completed unit's telemetry into the shared
+// plane: the captured trace replays through the shared recorder (span
+// IDs re-based, order preserved), the unit's cost profile and metrics
+// snapshot are absorbed, and the live observability store takes one
+// sample tagged with the unit's name.
+func (p *Plan) mergeScope(name string, s *unitScope) {
+	if s == nil {
+		return
+	}
+	p.o.Trace.Absorb(s.tr)
+	if p.profiler != nil && s.prof != nil {
+		p.profiler.Absorb(s.prof.Snapshot())
+	}
+	if p.o.Metrics != nil && s.reg != nil {
+		p.o.Metrics.Absorb(s.reg.Snapshot())
+	}
+	p.o.Obs.SampleUnit(name)
+}
+
+// addTyped is add with typed run/store callbacks.
+func addTyped[T any](p *Plan, name string, run func(Options) (T, error), store func(T)) {
+	p.add(name,
+		func(o Options) (any, error) { return run(o) },
+		func(v any) { store(v.(T)) })
+}
+
+// planOne builds a single-experiment plan, runs it, and returns the
+// experiment's result: the compatibility path behind the package's
+// original one-call-per-experiment API. Even at Parallel <= 1 the
+// experiment runs through the same scoped-unit machinery as a parallel
+// run, which is what makes the two byte-identical by construction.
+func planOne[T any](o Options, register func(*Plan) *Future[T]) (T, error) {
+	p := NewPlan(o)
+	f := register(p)
+	if err := p.Run(); err != nil {
+		var zero T
+		return zero, err
+	}
+	return f.Get(), nil
+}

@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"hyperhammer/internal/metrics"
+	"hyperhammer/internal/profile"
+	"hyperhammer/internal/trace"
+)
+
+// planRun executes a representative multi-experiment plan (the
+// hh-tables -short -all shape, minus the two slowest campaigns) at the
+// given worker count with the full telemetry plane attached, and
+// returns everything an artifact would be built from: the rendered
+// results, the final metrics snapshot, the profile, and the raw span
+// stream.
+func planRun(t *testing.T, parallel int) (results []byte, snap metrics.Snapshot, prof *profile.Profile, spans []byte) {
+	t.Helper()
+	var spanBuf bytes.Buffer
+	o := shortOpts()
+	o.Parallel = parallel
+	o.Trace = trace.New(&spanBuf, 0)
+	o.Metrics = metrics.New()
+
+	p := NewPlan(o)
+	profiler := profile.NewBuilder(o.Metrics)
+	p.SetProfiler(profiler)
+
+	t1 := p.Table1()
+	f3 := p.Figure3()
+	dd := p.DRAMDig()
+	mit := p.Mitigation()
+	xen := p.Xen()
+	bal := p.Balloon()
+	ecc := p.ECC()
+	mh := p.Multihit()
+	sd := p.AblationSidedness()
+	ne := p.AblationNoExhaust()
+	an := p.Analysis(t1)
+	if err := p.Run(); err != nil {
+		t.Fatalf("plan run (parallel=%d): %v", parallel, err)
+	}
+
+	out, err := json.Marshal(map[string]any{
+		"table1":    t1.Get(),
+		"figure3":   f3.Get(),
+		"dramdig":   dd.Get(),
+		"mitigate":  mit.Get(),
+		"xen":       xen.Get(),
+		"balloon":   bal.Get(),
+		"ecc":       ecc.Get(),
+		"multihit":  mh.Get(),
+		"sidedness": sd.Get(),
+		"noexhaust": ne.Get(),
+		"analysis":  an.Get(),
+	})
+	if err != nil {
+		t.Fatalf("marshal results: %v", err)
+	}
+	return out, o.Metrics.Snapshot(), profiler.Snapshot(), spanBuf.Bytes()
+}
+
+// TestParallelMatchesSequential is the determinism gate in miniature:
+// the same plan at -parallel 1 and -parallel 4 must produce
+// byte-identical results, metrics, profiles, and span streams. Run
+// under -race this also exercises the scheduler's concurrency.
+func TestParallelMatchesSequential(t *testing.T) {
+	seqRes, seqSnap, seqProf, seqSpans := planRun(t, 1)
+	parRes, parSnap, parProf, parSpans := planRun(t, 4)
+
+	if !bytes.Equal(seqRes, parRes) {
+		t.Errorf("results differ between parallel 1 and 4:\nseq: %s\npar: %s", seqRes, parRes)
+	}
+	seqSnapJSON, _ := json.Marshal(seqSnap)
+	parSnapJSON, _ := json.Marshal(parSnap)
+	if !bytes.Equal(seqSnapJSON, parSnapJSON) {
+		t.Errorf("metrics snapshots differ:\nseq: %s\npar: %s", seqSnapJSON, parSnapJSON)
+	}
+	seqProfJSON, _ := json.Marshal(seqProf)
+	parProfJSON, _ := json.Marshal(parProf)
+	if !bytes.Equal(seqProfJSON, parProfJSON) {
+		t.Errorf("profiles differ:\nseq: %s\npar: %s", seqProfJSON, parProfJSON)
+	}
+	if !bytes.Equal(seqSpans, parSpans) {
+		t.Errorf("span streams differ (%d vs %d bytes)", len(seqSpans), len(parSpans))
+	}
+}
+
+// TestPlanErrorPropagates checks that a failing unit surfaces its
+// error from Run and that units before it still deliver.
+func TestPlanErrorPropagates(t *testing.T) {
+	o := shortOpts()
+	o.Parallel = 4
+	p := NewPlan(o)
+	delivered := 0
+	addTyped(p, "ok",
+		func(Options) (int, error) { return 1, nil },
+		func(int) { delivered++ })
+	addTyped(p, "boom",
+		func(Options) (int, error) { return 0, errBoom },
+		func(int) { t.Error("failing unit must not be delivered") })
+	finals := 0
+	p.finally(func() error { finals++; return nil })
+	if err := p.Run(); err != errBoom {
+		t.Fatalf("Run error = %v, want errBoom", err)
+	}
+	if delivered != 1 {
+		t.Errorf("delivered = %d, want 1", delivered)
+	}
+	if finals != 0 {
+		t.Errorf("finals ran despite error: %d", finals)
+	}
+}
+
+var errBoom = errorString("boom")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }

@@ -43,15 +43,22 @@ func (r *Table1Result) Table() *report.Table {
 // memory on S1 and S2, reporting flip counts by direction, stability
 // and exploitability, plus the simulated profiling time.
 func Table1(o Options) (*Table1Result, error) {
+	return planOne(o, (*Plan).Table1)
+}
+
+// Table1 registers the experiment's per-system profiling runs as
+// independent units and returns the future of the assembled table.
+func (p *Plan) Table1() *Future[*Table1Result] {
+	f := &Future[*Table1Result]{}
 	res := &Table1Result{}
 	for _, sys := range []System{SystemS1, SystemS2} {
-		row, err := profileSystem(o, sys)
-		if err != nil {
-			return nil, err
-		}
-		res.Rows = append(res.Rows, row)
+		sys := sys
+		addTyped(p, "table1."+sys.String(),
+			func(o Options) (Table1Row, error) { return profileSystem(o, sys) },
+			func(row Table1Row) { res.Rows = append(res.Rows, row) })
 	}
-	return res, nil
+	p.finally(func() error { f.set(res); return nil })
+	return f
 }
 
 func profileSystem(o Options, sys System) (Table1Row, error) {

@@ -93,18 +93,31 @@ func table2Settings(sc scale) []struct {
 // trigger EPT creation over S bytes of the VM's memory, and use the
 // hypervisor's released-PFN log and EPT-page dump to count reuse.
 func Table2(o Options) (*Table2Result, error) {
+	return planOne(o, (*Plan).Table2)
+}
+
+// Table2 registers each (system, S, B) row as an independent unit —
+// every row boots its own fresh host — and returns the future of the
+// assembled table.
+func (p *Plan) Table2() *Future[*Table2Result] {
+	f := &Future[*Table2Result]{}
 	res := &Table2Result{}
 	for _, sys := range []System{SystemS1, SystemS2, SystemS3} {
-		for _, setting := range table2Settings(o.scale()) {
-			row, err := table2Run(o, sys, setting.spray, setting.blocks)
-			if err != nil {
-				return nil, fmt.Errorf("table 2 %s S=%d B=%d: %w",
-					sys, setting.spray, setting.blocks, err)
-			}
-			res.Rows = append(res.Rows, row)
+		for _, setting := range table2Settings(p.o.scale()) {
+			sys, spray, blocks := sys, setting.spray, setting.blocks
+			addTyped(p, fmt.Sprintf("table2.%s.S%d.B%d", sys, spray, blocks),
+				func(o Options) (Table2Row, error) {
+					row, err := table2Run(o, sys, spray, blocks)
+					if err != nil {
+						return Table2Row{}, fmt.Errorf("table 2 %s S=%d B=%d: %w", sys, spray, blocks, err)
+					}
+					return row, nil
+				},
+				func(row Table2Row) { res.Rows = append(res.Rows, row) })
 		}
 	}
-	return res, nil
+	p.finally(func() error { f.set(res); return nil })
+	return f
 }
 
 // table2Run performs one steering measurement on a fresh host.

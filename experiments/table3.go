@@ -56,15 +56,30 @@ func (r *Table3Result) Table() *report.Table {
 // verified escape. Success is verified by reading a host-planted magic
 // value through the stolen EPT page, as in Section 5.3.2.
 func Table3(o Options) (*Table3Result, error) {
+	return planOne(o, (*Plan).Table3)
+}
+
+// Table3 registers one full campaign per system as independent units
+// and returns the future of the assembled table. These are the
+// dominant units of a full run — scheduling them early lets the pool
+// overlap them with everything else.
+func (p *Plan) Table3() *Future[*Table3Result] {
+	f := &Future[*Table3Result]{}
 	res := &Table3Result{}
 	for _, sys := range []System{SystemS1, SystemS2} {
-		row, err := table3Run(o, sys)
-		if err != nil {
-			return nil, fmt.Errorf("table 3 %s: %w", sys, err)
-		}
-		res.Rows = append(res.Rows, row)
+		sys := sys
+		addTyped(p, "table3."+sys.String(),
+			func(o Options) (Table3Row, error) {
+				row, err := table3Run(o, sys)
+				if err != nil {
+					return Table3Row{}, fmt.Errorf("table 3 %s: %w", sys, err)
+				}
+				return row, nil
+			},
+			func(row Table3Row) { res.Rows = append(res.Rows, row) })
 	}
-	return res, nil
+	p.finally(func() error { f.set(res); return nil })
+	return f
 }
 
 func table3Run(o Options, sys System) (Table3Row, error) {

@@ -1,7 +1,6 @@
 package attack
 
 import (
-	"math/rand/v2"
 	"time"
 )
 
@@ -67,23 +66,61 @@ type MonteCarloConfig struct {
 // EPT pages are scattered uniformly over host frames and a flip moves
 // the mapping by a power-of-two frame distance. The estimate should
 // sit at or below the Section 5.3.1 bound.
+//
+// Each sample's random draws are derived from (Seed, sample index)
+// alone — not from a stream shared across samples — so the estimate is
+// identical no matter how the sample range is split into shards; see
+// MonteCarloHits.
 func MonteCarloSuccess(cfg MonteCarloConfig) float64 {
-	if cfg.Samples <= 0 || cfg.HostFrames <= 0 || cfg.EPTPages <= 0 {
+	if cfg.Samples <= 0 {
 		return 0
 	}
-	rng := rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0x9E3779B97F4A7C15))
+	return float64(MonteCarloHits(cfg, 0, 1)) / float64(cfg.Samples)
+}
+
+// MonteCarloHits counts the successful samples in the shard-th of
+// shards contiguous, near-equal index ranges of the experiment
+// MonteCarloSuccess describes. Summing the counts of all shards (in
+// any split) reproduces the single-shard count exactly, which is what
+// lets the experiment engine fan the sampling across workers without
+// changing the reported probability. shards <= 0 or an out-of-range
+// shard yields 0.
+func MonteCarloHits(cfg MonteCarloConfig, shard, shards int) int {
+	if cfg.Samples <= 0 || cfg.HostFrames <= 0 || cfg.EPTPages <= 0 ||
+		shards <= 0 || shard < 0 || shard >= shards {
+		return 0
+	}
+	lo := shard * cfg.Samples / shards
+	hi := (shard + 1) * cfg.Samples / shards
 	density := float64(cfg.EPTPages) / float64(cfg.HostFrames)
+	bitRange := uint64(cfg.ExploitableBitHigh - cfg.ExploitableBitLow)
+	if bitRange == 0 {
+		bitRange = 1
+	}
 	hits := 0
-	for i := 0; i < cfg.Samples; i++ {
+	for i := lo; i < hi; i++ {
+		// Derive this sample's draws from the index: a splitmix64-style
+		// finalizer over seed + (i+1)*golden gives each sample two
+		// independent uniform words regardless of which shard runs it.
+		x := cfg.Seed + (uint64(i)+1)*0x9E3779B97F4A7C15
 		// A flip at PFN bit k moves the mapping by 2^(k-12) frames;
 		// whether the landing frame holds an EPT page is a Bernoulli
 		// draw at the EPT-page density (EPT pages are spread by the
 		// buddy allocator with no correlation to the flip distance).
-		bitRange := int(cfg.ExploitableBitHigh - cfg.ExploitableBitLow)
-		_ = cfg.ExploitableBitLow + uint(rng.IntN(bitRange)) // flip position; uniform
-		if rng.Float64() < density {
+		_ = cfg.ExploitableBitLow + uint(mix64(x)%bitRange) // flip position; uniform
+		u := float64(mix64(x^0xD1B54A32D192ED03)>>11) / (1 << 53)
+		if u < density {
 			hits++
 		}
 	}
-	return float64(hits) / float64(cfg.Samples)
+	return hits
+}
+
+// mix64 is the splitmix64 output finalizer: a bijective avalanche over
+// one 64-bit word, good enough that consecutive inputs give
+// statistically independent outputs.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
 }

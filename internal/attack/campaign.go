@@ -161,6 +161,10 @@ func RunCampaign(h *kvm.Host, ccfg CampaignConfig) (*CampaignResult, error) {
 		return res, fmt.Errorf("attack: profile found no exploitable bits")
 	}
 
+	// One working set for the whole campaign: attempts clear and
+	// refill these buffers instead of re-allocating them.
+	ccfg.Attack.scratch = &attemptScratch{}
+
 	attackClock := simtime.NewStopwatch(h.Clock)
 	for attempt := 1; attempt <= ccfg.MaxAttempts; attempt++ {
 		if ccfg.ChurnOps > 0 && attempt > 1 {
@@ -233,7 +237,8 @@ func runAttempt(h *kvm.Host, ccfg CampaignConfig, bits []physicalBit, index int)
 		return stats, err
 	}
 	buf := Buffer{Base: base, Hugepages: n}
-	hpaToGVA := make(map[memdef.HPA]memdef.GVA, n)
+	scratch := ccfg.Attack.scratch
+	hpaToGVA := scratch.hpaMap(n)
 	for i := 0; i < n; i++ {
 		gva := buf.HugepageBase(i)
 		hpa, err := gos.Hypercall(gva)
@@ -249,7 +254,7 @@ func runAttempt(h *kvm.Host, ccfg CampaignConfig, bits []physicalBit, index int)
 		}
 		return hugeBase + memdef.GVA(hpa-memdef.HugeBase(hpa)), true
 	}
-	var victims []VulnBit
+	victims := scratch.victims[:0]
 	for _, pb := range bits {
 		cell, ok1 := locate(pb.cellHPA)
 		a, ok2 := locate(pb.aggrA)
@@ -268,6 +273,7 @@ func runAttempt(h *kvm.Host, ccfg CampaignConfig, bits []physicalBit, index int)
 			break // headroom for hugepage-conflict skips in PageSteer
 		}
 	}
+	scratch.victims = victims
 	stats.UsableBits = len(victims)
 	if len(victims) == 0 {
 		return stats, nil // unlucky backing; respawn

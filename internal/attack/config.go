@@ -82,6 +82,11 @@ type Config struct {
 	// at the moment a real flip would land.
 	postMarkHook func()
 
+	// scratch, when set by RunCampaign, carries per-attempt reusable
+	// buffers so hundreds of attempts don't re-allocate their working
+	// sets. Nil for standalone PageSteer/Exploit calls.
+	scratch *attemptScratch
+
 	// Trace, when non-nil, receives span.* phase events for the attack
 	// steps. RunCampaign defaults it to the host's recorder.
 	Trace *trace.Recorder

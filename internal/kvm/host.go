@@ -147,6 +147,10 @@ type Host struct {
 	// multihit machine check; all further guest activity fails.
 	crashed bool
 
+	// churnHeld is BackgroundChurn's reusable transient-page buffer;
+	// campaigns churn between every attempt.
+	churnHeld []memdef.PFN
+
 	met hostMetrics
 }
 
@@ -318,7 +322,8 @@ func (h *Host) VMs() int { return len(h.vms) }
 // different page-reuse pairings — on a real host this drift is
 // continuous and free. ops is the number of transient allocations.
 func (h *Host) BackgroundChurn(ops int) {
-	var held []memdef.PFN
+	held := h.churnHeld[:0]
+	defer func() { h.churnHeld = held[:0] }()
 	for i := 0; i < ops; i++ {
 		switch h.rng.IntN(3) {
 		case 0: // allocate and hold briefly

@@ -102,12 +102,20 @@ type MappingChange struct {
 // returns the differing pages. It is observationally what the guest
 // gets from re-reading the magic value in every page it marked.
 func (vm *VM) ChangedMappings() []MappingChange {
-	chunks := make([]memdef.GPA, 0, len(vm.backing))
+	return vm.AppendChangedMappings(nil)
+}
+
+// AppendChangedMappings is ChangedMappings appending into a
+// caller-provided buffer — the allocation-free form for the exploit
+// step's repeated post-probe rescans. The chunk-ordering scratch is
+// VM-owned and reused across calls.
+func (vm *VM) AppendChangedMappings(out []MappingChange) []MappingChange {
+	chunks := vm.scanChunks[:0]
 	for gpa := range vm.backing {
 		chunks = append(chunks, gpa)
 	}
 	sort.Slice(chunks, func(i, j int) bool { return chunks[i] < chunks[j] })
-	var out []MappingChange
+	vm.scanChunks = chunks
 	for _, chunk := range chunks {
 		cb := vm.backing[chunk]
 		tr, err := vm.ept.Translate(uint64(chunk))

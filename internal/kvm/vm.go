@@ -101,6 +101,10 @@ type VM struct {
 	// DrainNetBuffers.
 	netBuffers []memdef.PFN
 
+	// scanChunks is AppendChangedMappings' reusable chunk-ordering
+	// scratch.
+	scanChunks []memdef.GPA
+
 	destroyed bool
 }
 

@@ -1,0 +1,123 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"hyperhammer/internal/simtime"
+)
+
+// TestBindClockAccumulates pins the satellite fix for the shared-clock
+// hazard: two hosts bound sequentially to one registry must both
+// contribute to sim_seconds instead of the last boot overwriting the
+// first host's time.
+func TestBindClockAccumulates(t *testing.T) {
+	r := New()
+
+	host1 := &simtime.Clock{}
+	r.BindClock(host1)
+	host1.Advance(90 * time.Second)
+	if got := r.SimTime(); got != 90*time.Second {
+		t.Fatalf("after host1: SimTime = %v, want 90s", got)
+	}
+
+	host2 := &simtime.Clock{}
+	r.BindClock(host2)
+	host2.Advance(30 * time.Second)
+	if got := r.SimTime(); got != 120*time.Second {
+		t.Fatalf("after host2: SimTime = %v, want 120s (90s from host1 + 30s from host2)", got)
+	}
+	if got := r.Snapshot().SimSeconds; got != 120 {
+		t.Fatalf("Snapshot().SimSeconds = %v, want 120", got)
+	}
+
+	// A third boot keeps accumulating.
+	r.BindClock(&simtime.Clock{})
+	if got := r.SimTime(); got != 120*time.Second {
+		t.Fatalf("after host3 bind: SimTime = %v, want 120s", got)
+	}
+}
+
+func TestAddSimTime(t *testing.T) {
+	r := New()
+	r.AddSimTime(45 * time.Second)
+	r.AddSimTime(15 * time.Second)
+	if got := r.SimTime(); got != time.Minute {
+		t.Fatalf("SimTime = %v, want 1m", got)
+	}
+	var nilReg *Registry
+	nilReg.AddSimTime(time.Second) // must not panic
+}
+
+func unitSnapshot(sim time.Duration) Snapshot {
+	u := New()
+	clock := &simtime.Clock{}
+	u.BindClock(clock)
+	clock.Advance(sim)
+	u.Counter("unit_ops_total", "ops").Add(7)
+	u.Counter("unit_ops_total", "ops", "phase", "steer").Add(3)
+	u.Gauge("unit_depth", "depth").Set(4)
+	h := u.Histogram("unit_seconds", "latency", []float64{1, 10, 100})
+	h.Observe(0.5)
+	h.Observe(5)
+	h.Observe(5)
+	h.Observe(5000) // overflow bucket
+	return u.Snapshot()
+}
+
+// TestAbsorb checks that folding two unit snapshots into a parent
+// registry adds counters, de-cumulates histogram buckets, applies
+// gauges in absorb order, and credits simulated time.
+func TestAbsorb(t *testing.T) {
+	parent := New()
+	parent.Absorb(unitSnapshot(10 * time.Second))
+	parent.Absorb(unitSnapshot(20 * time.Second))
+
+	snap := parent.Snapshot()
+	if got := snap.SimSeconds; got != 30 {
+		t.Fatalf("SimSeconds = %v, want 30", got)
+	}
+	wantCounters := map[string]float64{"": 14, "phase\xffsteer\xfe": 6}
+	for _, c := range snap.Counters {
+		key, _ := labelKey(c.Labels)
+		if c.Value != wantCounters[key] {
+			t.Errorf("counter %s{%v} = %v, want %v", c.Name, c.Labels, c.Value, wantCounters[key])
+		}
+		delete(wantCounters, key)
+	}
+	if len(wantCounters) != 0 {
+		t.Errorf("missing counters after absorb: %v", wantCounters)
+	}
+	if len(snap.Gauges) != 1 || snap.Gauges[0].Value != 4 {
+		t.Fatalf("gauges = %+v, want one gauge of 4", snap.Gauges)
+	}
+	if len(snap.Histograms) != 1 {
+		t.Fatalf("histograms = %+v, want one", snap.Histograms)
+	}
+	h := snap.Histograms[0]
+	if h.Count != 8 || math.Abs(h.Sum-2*5010.5) > 1e-9 {
+		t.Fatalf("histogram count=%d sum=%v, want count=8 sum=%v", h.Count, h.Sum, 2*5010.5)
+	}
+	// Cumulative buckets: le=1 has 2 obs, le=10 has 2+4, le=100 still 6;
+	// the two 5000s observations live in the implicit +Inf bucket.
+	wantCum := []uint64{2, 6, 6}
+	for i, b := range h.Buckets {
+		if b.Count != wantCum[i] {
+			t.Fatalf("bucket le=%v count=%d, want %d", b.UpperBound, b.Count, wantCum[i])
+		}
+	}
+
+	// Absorbing the parent's own snapshot into a fresh registry must
+	// reproduce it exactly (absorb is lossless for exported state).
+	mirror := New()
+	mirror.Absorb(snap)
+	snap2 := mirror.Snapshot()
+	if snap2.SimSeconds != snap.SimSeconds || len(snap2.Counters) != len(snap.Counters) ||
+		len(snap2.Histograms) != len(snap.Histograms) {
+		t.Fatalf("re-absorbed snapshot differs: %+v vs %+v", snap2, snap)
+	}
+	if snap2.Histograms[0].Count != snap.Histograms[0].Count || snap2.Histograms[0].Sum != snap.Histograms[0].Sum {
+		t.Fatalf("re-absorbed histogram differs")
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -174,8 +175,13 @@ type family struct {
 // Registry owns instrument families and hands out handles. All methods
 // are safe for concurrent use, and all are no-ops on a nil receiver.
 type Registry struct {
-	mu       sync.Mutex
-	clock    *simtime.Clock
+	mu    sync.Mutex
+	clock *simtime.Clock
+	// simBase accumulates the readings of previously bound clocks, so
+	// a registry that outlives several hosts reports the total
+	// simulated time spent across all of them rather than only the
+	// most recent host's clock (the old last-boot-wins hazard).
+	simBase  time.Duration
 	families map[string]*family
 }
 
@@ -185,19 +191,39 @@ func New() *Registry {
 }
 
 // BindClock attaches the simulated clock whose reading stamps every
-// export. Rebinding replaces the previous clock (experiments that boot
-// several hosts against one registry report the most recent host's
-// time).
+// export. Binding is explicitly scoped: rebinding first folds the
+// outgoing clock's final reading into an accumulated base, so
+// experiments that boot several hosts against one registry report the
+// total simulated time across all of them instead of only the most
+// recent host's clock. Rebinding the same live clock therefore counts
+// its elapsed time twice — bind each host's clock exactly once.
 func (r *Registry) BindClock(c *simtime.Clock) {
 	if r == nil {
 		return
 	}
 	r.mu.Lock()
+	if r.clock != nil {
+		r.simBase += r.clock.Now()
+	}
 	r.clock = c
 	r.mu.Unlock()
 }
 
-// SimTime returns the bound clock's reading, or zero.
+// AddSimTime folds d into the registry's accumulated simulated-time
+// base. Scoped-unit merging uses it to credit a completed unit's
+// simulated time to the parent registry without binding a clock.
+func (r *Registry) AddSimTime(d time.Duration) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.simBase += d
+	r.mu.Unlock()
+}
+
+// SimTime returns the accumulated simulated time: the base from
+// previously bound clocks (and AddSimTime) plus the current clock's
+// reading.
 func (r *Registry) SimTime() time.Duration {
 	if r == nil {
 		return 0
@@ -205,9 +231,9 @@ func (r *Registry) SimTime() time.Duration {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.clock == nil {
-		return 0
+		return r.simBase
 	}
-	return r.clock.Now()
+	return r.simBase + r.clock.Now()
 }
 
 // labelKey flattens sorted pairs into a map key and returns the sorted
@@ -356,9 +382,11 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	simNow := r.simBase
 	if r.clock != nil {
-		snap.SimSeconds = r.clock.Now().Seconds()
+		simNow += r.clock.Now()
 	}
+	snap.SimSeconds = simNow.Seconds()
 	fams := make([]*family, 0, len(r.families))
 	for _, f := range r.families {
 		fams = append(fams, f)
@@ -431,6 +459,62 @@ func sampleHistogram(name string, s *series) HistogramSample {
 		out.Buckets = append(out.Buckets, BucketSample{UpperBound: up, Count: cum})
 	}
 	return out
+}
+
+// Absorb folds a snapshot — typically taken from a scoped per-unit
+// registry that started empty — into this registry: counter values are
+// added, gauge values replace the current reading (last absorb wins,
+// so callers absorbing in a fixed unit order get deterministic
+// gauges), histogram buckets are de-cumulated and added bucket by
+// bucket, and the snapshot's simulated time is credited via
+// AddSimTime. Families absent from this registry are created in the
+// snapshot's (sorted) order, so absorbing the same snapshots in the
+// same order always yields the same registry state.
+func (r *Registry) Absorb(snap Snapshot) {
+	if r == nil {
+		return
+	}
+	for _, c := range snap.Counters {
+		r.Counter(c.Name, snap.Help[c.Name], c.Labels...).Add(uint64(c.Value))
+	}
+	for _, g := range snap.Gauges {
+		r.Gauge(g.Name, snap.Help[g.Name], g.Labels...).Set(int64(g.Value))
+	}
+	for _, hs := range snap.Histograms {
+		uppers := make([]float64, len(hs.Buckets))
+		for i, b := range hs.Buckets {
+			uppers[i] = b.UpperBound
+		}
+		r.Histogram(hs.Name, snap.Help[hs.Name], uppers, hs.Labels...).absorb(hs)
+	}
+	r.AddSimTime(time.Duration(math.Round(snap.SimSeconds * float64(time.Second))))
+}
+
+// absorb adds a sampled histogram's observations into h, de-cumulating
+// the exported buckets. Counts land in the first local bucket whose
+// upper bound is >= the sample bucket's bound (identical layouts map
+// one to one); observations beyond the last exported bucket go to the
+// overflow bucket.
+func (h *Histogram) absorb(s HistogramSample) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	prev := uint64(0)
+	for _, b := range s.Buckets {
+		d := b.Count - prev
+		prev = b.Count
+		if d == 0 {
+			continue
+		}
+		h.counts[sort.SearchFloat64s(h.uppers, b.UpperBound)] += d
+	}
+	if s.Count > prev {
+		h.counts[len(h.uppers)] += s.Count - prev
+	}
+	h.sum += s.Sum
+	h.n += s.Count
 }
 
 // WriteJSON writes the snapshot as indented JSON.

@@ -133,6 +133,26 @@ func (p *Plane) sample() {
 	})
 }
 
+// SampleUnit snapshots the registry into the store with every point
+// tagged as owned by the named scheduled unit, and announces the merge
+// on the bus as a "sched.unit" event. The parallel experiment engine
+// calls this after folding a completed unit's scoped telemetry into
+// the shared registry: concurrent units never drive the sampler
+// directly (their clocks are scoped), so tagged merge-time samples are
+// what keeps the live view coherent. Safe on a nil receiver.
+func (p *Plane) SampleUnit(unit string) {
+	if p == nil {
+		return
+	}
+	snap := p.reg.Snapshot()
+	p.store.RecordTagged(snap, unit)
+	p.bus.Publish("sched.unit", snap.SimSeconds, map[string]any{
+		"unit":     unit,
+		"sample":   p.store.Samples(),
+		"counters": len(snap.Counters),
+	})
+}
+
 // AttachProfile installs a live cost profiler: once attached, every
 // recorder tapped via TapTrace also feeds the builder, and the
 // server's /api/profile endpoint serves its snapshots. Attach before

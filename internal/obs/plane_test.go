@@ -105,7 +105,10 @@ func TestPlaneRebindAcrossHosts(t *testing.T) {
 		t.Fatalf("points = %+v", pts)
 	}
 	last := pts[len(pts)-1]
-	if last.Value != 2 || last.SimSeconds != 1 {
+	// Clock binding accumulates across hosts: after two hosts of 1
+	// simulated second each, sim time reads 2s, not the second host's
+	// 1s (the old last-boot-wins misattribution).
+	if last.Value != 2 || last.SimSeconds != 2 {
 		t.Errorf("last = %+v", last)
 	}
 	if last.Sample != 4 {

@@ -10,15 +10,20 @@ import (
 
 // Point is one sampled value of a series.
 type Point struct {
-	// SimSeconds is the simulated clock reading at the sample. When
-	// several hosts share one plane (hh-tables), each host restarts
-	// the simulated clock, so SimSeconds is monotonic only within one
-	// host's lifetime; Sample is globally monotonic.
+	// SimSeconds is the accumulated simulated time at the sample. When
+	// several hosts share one plane (hh-tables), each host's clock
+	// folds into the registry's accumulated base at rebind, so
+	// SimSeconds is monotonic across hosts; Sample counts samples.
 	SimSeconds float64 `json:"t"`
 	// Value is the series value at the sample.
 	Value float64 `json:"v"`
 	// Sample is the global sample number the point was taken in.
 	Sample uint64 `json:"n"`
+	// Unit, when set, names the scheduled experiment unit whose merge
+	// produced the sample (parallel runs sample the shared registry
+	// once per completed unit, tagged so a viewer can attribute steps
+	// in a series to the unit that caused them).
+	Unit string `json:"unit,omitempty"`
 }
 
 // SeriesData is one series' retained points, oldest first.
@@ -92,6 +97,12 @@ func NewStore(capPerSeries int) *Store {
 // Record appends one point per series in the snapshot. Histograms
 // contribute two derived series, name_count and name_sum.
 func (s *Store) Record(snap metrics.Snapshot) {
+	s.RecordTagged(snap, "")
+}
+
+// RecordTagged is Record with every appended point tagged as owned by
+// the named scheduled unit (empty for untagged host-clock samples).
+func (s *Store) RecordTagged(snap metrics.Snapshot, unit string) {
 	if s == nil {
 		return
 	}
@@ -100,26 +111,26 @@ func (s *Store) Record(snap metrics.Snapshot) {
 	s.samples++
 	t := snap.SimSeconds
 	for _, c := range snap.Counters {
-		s.add(c.Name, c.Labels, "counter", t, c.Value)
+		s.add(c.Name, c.Labels, "counter", t, c.Value, unit)
 	}
 	for _, g := range snap.Gauges {
-		s.add(g.Name, g.Labels, "gauge", t, g.Value)
+		s.add(g.Name, g.Labels, "gauge", t, g.Value, unit)
 	}
 	for _, h := range snap.Histograms {
-		s.add(h.Name+"_count", h.Labels, "histogram", t, float64(h.Count))
-		s.add(h.Name+"_sum", h.Labels, "histogram", t, h.Sum)
+		s.add(h.Name+"_count", h.Labels, "histogram", t, float64(h.Count), unit)
+		s.add(h.Name+"_sum", h.Labels, "histogram", t, h.Sum, unit)
 	}
 }
 
 // add records one point under the store's lock.
-func (s *Store) add(name string, labels []string, kind string, t, v float64) {
+func (s *Store) add(name string, labels []string, kind string, t, v float64, unit string) {
 	key := name + "\xff" + strings.Join(labels, "\xfe")
 	ss, ok := s.series[key]
 	if !ok {
 		ss = &storedSeries{name: name, labels: labels, kind: kind}
 		s.series[key] = ss
 	}
-	ss.add(Point{SimSeconds: t, Value: v, Sample: s.samples}, s.cap)
+	ss.add(Point{SimSeconds: t, Value: v, Sample: s.samples, Unit: unit}, s.cap)
 }
 
 // Samples returns how many snapshots were recorded.

@@ -43,7 +43,16 @@ type Memory struct {
 	// materialized counts frames holding explicit word arrays, for
 	// resource diagnostics in tests.
 	materialized int
+
+	// pool recycles word arrays of dematerialized frames. The spray
+	// and fill loops materialize and revert thousands of frames per
+	// attempt; recycling caps that at one allocation per concurrent
+	// materialized frame instead of one per touch.
+	pool [][]uint64
 }
+
+// poolCap bounds the recycled-array pool (4 KiB each, so 16 MiB).
+const poolCap = 4096
 
 // New creates a zeroed physical memory of the given byte size, which
 // must be a positive multiple of the page size.
@@ -103,10 +112,19 @@ func (m *Memory) SetWord(a memdef.HPA, v uint64) {
 }
 
 func (m *Memory) materialize(f *frame) {
-	f.data = make([]uint64, wordsPerPage)
-	if f.pattern != 0 {
+	if n := len(m.pool); n > 0 {
+		f.data = m.pool[n-1]
+		m.pool[n-1] = nil
+		m.pool = m.pool[:n-1]
 		for i := range f.data {
 			f.data[i] = f.pattern
+		}
+	} else {
+		f.data = make([]uint64, wordsPerPage)
+		if f.pattern != 0 {
+			for i := range f.data {
+				f.data[i] = f.pattern
+			}
 		}
 	}
 	m.materialized++
@@ -120,6 +138,9 @@ func (m *Memory) FillWord(p memdef.PFN, v uint64) {
 	}
 	f := &m.frames[p]
 	if f.data != nil {
+		if len(m.pool) < poolCap {
+			m.pool = append(m.pool, f.data)
+		}
 		f.data = nil
 		m.materialized--
 	}

@@ -259,6 +259,40 @@ func (b *Builder) Consume(ev trace.Event) {
 	}
 }
 
+// Absorb merges a finished profile — typically built live by a scoped
+// per-unit builder over that unit's own registry — into this builder's
+// aggregate, adding per-path counts and costs, subsystem censuses, and
+// event totals. Counter attribution carries over exactly because the
+// unit's builder charged deltas live; replaying the unit's trace into
+// a shared builder instead would see only static counters. Safe on a
+// nil receiver or profile.
+func (b *Builder) Absorb(p *Profile) {
+	if b == nil || p == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.events += p.Events
+	b.unmatchedEnds += p.UnmatchedEnds
+	for _, e := range p.Entries {
+		a := b.agg[e.Path]
+		if a == nil {
+			a = &aggEntry{}
+			b.agg[e.Path] = a
+		}
+		a.count += e.Count
+		a.seconds += e.SimSeconds
+		a.selfSeconds += e.SelfSimSeconds
+		a.acts += uint64(e.Activations)
+		a.selfActs += uint64(e.SelfActivations)
+		a.rounds += uint64(e.HammerRounds)
+		a.selfRounds += uint64(e.SelfHammerRounds)
+	}
+	for _, s := range p.Subsystems {
+		b.subs[s.Name] += s.Events
+	}
+}
+
 // Snapshot returns the profile folded so far. Entries are path-sorted;
 // taking a snapshot does not reset the builder.
 func (b *Builder) Snapshot() *Profile {

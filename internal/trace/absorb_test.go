@@ -1,0 +1,112 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"hyperhammer/internal/simtime"
+)
+
+// TestAbsorbRenumbersAndRemaps checks that replaying a captured child
+// stream into a parent renumbers sequence numbers, offsets span IDs
+// past the parent's, preserves simulated timestamps, and feeds the
+// parent's writer and sinks.
+func TestAbsorbRenumbersAndRemaps(t *testing.T) {
+	var out strings.Builder
+	parent := New(&out, 100)
+	var sunk []Event
+	parent.SetNamedSink("test", func(ev Event) { sunk = append(sunk, ev) })
+
+	// Parent opens a span first so its nextSpan is nonzero.
+	pSpan := parent.StartSpan("parent.phase")
+	pSpan.End()
+
+	child := NewCapture()
+	clock := &simtime.Clock{}
+	child.BindClock(clock)
+	clock.Advance(42 * time.Second)
+	root := child.StartSpan("unit.root")
+	kid := root.StartChild("unit.child")
+	child.Emit("unit.event", "k", "v")
+	kid.End()
+	root.End()
+
+	parent.Absorb(child)
+
+	evs := parent.Recent()
+	if len(evs) != 7 { // 2 parent span events + 5 child events
+		t.Fatalf("parent retained %d events, want 7", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Seq != uint64(i+1) {
+			t.Fatalf("event %d has Seq %d, want %d", i, ev.Seq, i+1)
+		}
+	}
+	// Child events start at index 2. Their span IDs must be offset by
+	// the parent's one existing span.
+	cs := evs[2:]
+	if cs[0].Kind != "span.start" || cs[0].Data["span"].(uint64) != 2 {
+		t.Fatalf("absorbed root start = %+v, want span 2", cs[0])
+	}
+	if cs[1].Data["span"].(uint64) != 3 || cs[1].Data["parent"].(uint64) != 2 {
+		t.Fatalf("absorbed child start = %+v, want span 3 parent 2", cs[1])
+	}
+	if cs[0].SimTime != (42 * time.Second).String() {
+		t.Fatalf("absorbed SimTime = %q, want %q", cs[0].SimTime, (42 * time.Second).String())
+	}
+	if cs[2].Kind != "unit.event" || cs[2].Data["k"] != "v" {
+		t.Fatalf("absorbed event = %+v", cs[2])
+	}
+	if len(sunk) != 7 {
+		t.Fatalf("sink saw %d events, want 7", len(sunk))
+	}
+	if got := strings.Count(out.String(), "\n"); got != 7 {
+		t.Fatalf("writer got %d lines, want 7", got)
+	}
+
+	// A new parent span must not collide with absorbed IDs.
+	next := parent.StartSpan("parent.after")
+	if next.id != 4 {
+		t.Fatalf("post-absorb span ID = %d, want 4", next.id)
+	}
+
+	// Absorb drained the child: a second absorb is a no-op for events.
+	before := parent.Count()
+	parent.Absorb(child)
+	if parent.Count() != before {
+		t.Fatalf("second absorb replayed events again")
+	}
+}
+
+// TestAbsorbDeterministicOrder: absorbing the same two children in the
+// same order into two parents yields identical streams, regardless of
+// the order the children were produced in.
+func TestAbsorbDeterministicOrder(t *testing.T) {
+	mk := func(name string, sim time.Duration) *Recorder {
+		c := NewCapture()
+		clock := &simtime.Clock{}
+		c.BindClock(clock)
+		clock.Advance(sim)
+		s := c.StartSpan(name)
+		c.Emit(name+".work", "n", 1)
+		s.End()
+		return c
+	}
+
+	var a, b strings.Builder
+	pa := New(&a, 0)
+	pb := New(&b, 0)
+
+	// Children built in opposite orders; absorbed in the same order.
+	u1a, u2a := mk("u1", time.Second), mk("u2", 2*time.Second)
+	u2b, u1b := mk("u2", 2*time.Second), mk("u1", time.Second)
+	pa.Absorb(u1a)
+	pa.Absorb(u2a)
+	pb.Absorb(u1b)
+	pb.Absorb(u2b)
+
+	if a.String() != b.String() {
+		t.Fatalf("streams differ:\n%s\nvs\n%s", a.String(), b.String())
+	}
+}

@@ -42,8 +42,13 @@ type Recorder struct {
 	seq   uint64
 	// keep retains the most recent events in memory for tests and
 	// programmatic inspection (0 disables).
-	keep     int
-	recent   []Event
+	keep   int
+	recent []Event
+	// capture, when set, retains every event (unbounded) so the whole
+	// stream can later be replayed into a parent recorder via Absorb.
+	// Scoped per-unit recorders use it; Absorb drains it.
+	capture  bool
+	captured []Event
 	errs     int
 	nextSpan uint64
 	// sinks maps sink name to a live tap: every recorded event is
@@ -65,6 +70,15 @@ func New(w io.Writer, keep int) *Recorder {
 		r.enc = json.NewEncoder(w)
 	}
 	return r
+}
+
+// NewCapture creates an in-memory recorder that retains every event it
+// records, in order, so a scoped unit (one experiment running
+// concurrently with others) can trace into isolation and have its
+// whole stream replayed into the shared recorder afterwards with
+// Absorb. Retention is unbounded; Absorb drains it.
+func NewCapture() *Recorder {
+	return &Recorder{capture: true}
 }
 
 // BindClock attaches the simulated clock used for event timestamps.
@@ -179,7 +193,90 @@ func (r *Recorder) emitLocked(kind string, data map[string]any) Event {
 			r.recent = r.recent[len(r.recent)-r.keep:]
 		}
 	}
+	if r.capture {
+		r.captured = append(r.captured, ev)
+	}
 	return ev
+}
+
+// Absorb replays everything a capture-mode child recorder accumulated
+// into r, draining the child: events keep their simulated timestamps
+// and relative order but are renumbered into r's sequence, and span
+// IDs are offset past r's own so merged streams cannot collide. Each
+// replayed event flows through r's writer, ring, and sinks exactly as
+// if it had been emitted on r. Deterministic merging is the caller's
+// job: absorbing completed units in declaration order (not completion
+// order) yields a byte-identical stream regardless of how many workers
+// ran the units. Safe on nil receiver or child.
+func (r *Recorder) Absorb(child *Recorder) {
+	if r == nil || child == nil || child == r {
+		return
+	}
+	child.mu.Lock()
+	events := child.captured
+	child.captured = nil
+	childSpans := child.nextSpan
+	child.mu.Unlock()
+	if len(events) == 0 && childSpans == 0 {
+		return
+	}
+	r.mu.Lock()
+	offset := r.nextSpan
+	r.nextSpan += childSpans
+	replayed := make([]Event, len(events))
+	for i, ev := range events {
+		if offset != 0 && (ev.Kind == "span.start" || ev.Kind == "span.end") {
+			data := make(map[string]any, len(ev.Data))
+			for k, v := range ev.Data {
+				data[k] = v
+			}
+			if id := asSpanID(data["span"]); id != 0 {
+				data["span"] = id + offset
+			}
+			if p := asSpanID(data["parent"]); p != 0 {
+				data["parent"] = p + offset
+			}
+			ev.Data = data
+		}
+		r.seq++
+		ev.Seq = r.seq
+		if r.enc != nil {
+			if err := r.enc.Encode(ev); err != nil {
+				r.errs++
+			}
+		}
+		if r.keep > 0 {
+			r.recent = append(r.recent, ev)
+			if len(r.recent) > r.keep {
+				r.recent = r.recent[len(r.recent)-r.keep:]
+			}
+		}
+		if r.capture {
+			r.captured = append(r.captured, ev)
+		}
+		replayed[i] = ev
+	}
+	sinks := r.sinkList
+	r.mu.Unlock()
+	for _, ev := range replayed {
+		for _, sink := range sinks {
+			sink(ev)
+		}
+	}
+}
+
+// asSpanID coerces a span/parent ID out of event data: native uint64
+// from in-memory events, float64 after a JSON round trip.
+func asSpanID(v any) uint64 {
+	switch x := v.(type) {
+	case uint64:
+		return x
+	case float64:
+		return uint64(x)
+	case int:
+		return uint64(x)
+	}
+	return 0
 }
 
 // normalize converts values that encode poorly into plain
