@@ -4,6 +4,10 @@
 // summary of anomalies (lost events, unmatched spans, malformed
 // lines).
 //
+// The heatmap subcommand instead reads a run artifact (-artifact
+// output) and renders its embedded DRAM heatmap, layout census, and
+// watchpoint alert table — the same ASCII view as hh-top -once.
+//
 // Usage:
 //
 //	hyperhammer -short -trace run.trace
@@ -11,6 +15,7 @@
 //	hh-inspect -tree run.trace       # just the span tree
 //	hh-inspect -kinds -anomalies run.trace
 //	hh-inspect -timeline -width 100 run.trace
+//	hh-inspect heatmap run.json      # introspection sections of an artifact
 package main
 
 import (
@@ -18,12 +23,26 @@ import (
 	"fmt"
 	"os"
 
+	"hyperhammer/internal/inspect"
 	"hyperhammer/internal/obs"
 	"hyperhammer/internal/report"
+	"hyperhammer/internal/runartifact"
 	"time"
 )
 
 func main() {
+	// Subcommand dispatch rides ahead of flag parsing so the trace
+	// flags don't apply to artifact rendering.
+	if len(os.Args) > 1 && os.Args[1] == "heatmap" {
+		if len(os.Args) != 3 {
+			fmt.Fprintln(os.Stderr, "usage: hh-inspect heatmap artifact.json")
+			os.Exit(2)
+		}
+		if err := renderHeatmap(os.Args[2]); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	tree := flag.Bool("tree", false, "print the span tree with per-phase simulated timing")
 	kinds := flag.Bool("kinds", false, "print the per-kind event census")
 	timeline := flag.Bool("timeline", false, "print top-level spans as a timeline over simulated time")
@@ -69,6 +88,30 @@ func main() {
 	if in.SeqGaps > 0 || in.MalformedLines > 0 {
 		os.Exit(1) // the trace is damaged; make scripts notice
 	}
+}
+
+// renderHeatmap prints an artifact's introspection sections with the
+// renderers shared with hh-top.
+func renderHeatmap(path string) error {
+	a, err := runartifact.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if a.Heatmap == nil && a.Census == nil && a.Alerts == nil {
+		return fmt.Errorf("%s carries no introspection sections (produce it with -obs or -artifact)", path)
+	}
+	fmt.Printf("%s: tool=%s seed=%d scale=%s simSeconds=%.1f\n\n",
+		path, a.Tool, a.Seed, a.Scale, a.SimSeconds)
+	if a.Heatmap != nil {
+		fmt.Println(inspect.RenderHeatmap(*a.Heatmap))
+	}
+	if a.Census != nil {
+		fmt.Println(inspect.RenderCensus(*a.Census))
+	}
+	if a.Alerts != nil {
+		fmt.Println(inspect.RenderAlerts(*a.Alerts))
+	}
+	return nil
 }
 
 func fatal(err error) {

@@ -93,6 +93,12 @@ func main() {
 	if *metricsPath != "" || *obsAddr != "" || *artifactPath != "" {
 		o.Metrics = hyperhammer.NewMetrics()
 	}
+	// The introspection plane rides along whenever the run is observed
+	// live or archived; every unit gets a scoped inspector absorbed in
+	// declaration order (see experiments/plan.go).
+	if *obsAddr != "" || *artifactPath != "" {
+		o.Inspect = hyperhammer.NewInspector(hyperhammer.InspectConfig{})
+	}
 	var profiler *hyperhammer.CostProfiler
 	if *artifactPath != "" {
 		// The profiler is NOT attached as a sink on the shared
@@ -128,6 +134,7 @@ func main() {
 	if *obsAddr != "" {
 		plane := hyperhammer.NewObs(o.Metrics, hyperhammer.ObsConfig{SampleEvery: *obsSample})
 		plane.AttachProfile(profiler)
+		plane.SetInspector(o.Inspect)
 		o.Obs = plane
 		// Units run hosts with Obs unset, so nothing ever taps the
 		// shared recorder implicitly; tap it here so absorbed unit
@@ -157,6 +164,7 @@ func main() {
 		a.SimSeconds = o.Metrics.SimTime().Seconds()
 		a.Metrics = o.Metrics.Snapshot()
 		a.SetProfile(profiler.Snapshot())
+		a.SetInspector(o.Inspect)
 		return a
 	}
 	if *artifactPath != "" {

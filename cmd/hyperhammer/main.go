@@ -121,6 +121,15 @@ func main() {
 		hostCfg.Metrics = reg
 	}
 
+	// The introspection plane rides along whenever the run is observed
+	// live or archived: heatmap/census/alert endpoints and artifact
+	// sections come from the same inspector.
+	var inspector *hyperhammer.Inspector
+	if *obsAddr != "" || *artifactPath != "" {
+		inspector = hyperhammer.NewInspector(hyperhammer.InspectConfig{})
+		hostCfg.Inspect = inspector
+	}
+
 	var profiler *hyperhammer.CostProfiler
 	if *artifactPath != "" {
 		profiler = hyperhammer.NewCostProfiler(reg)
@@ -135,6 +144,7 @@ func main() {
 	if *obsAddr != "" {
 		plane = hyperhammer.NewObs(reg, hyperhammer.ObsConfig{SampleEvery: *obsSample})
 		plane.AttachProfile(profiler) // nil profiler → /api/profile serves empty
+		plane.SetInspector(inspector)
 		hostCfg.Obs = plane
 		var err error
 		if srv, err = plane.Serve(*obsAddr); err != nil {
@@ -198,6 +208,7 @@ func main() {
 		a.SimSeconds = reg.SimTime().Seconds()
 		a.Metrics = reg.Snapshot()
 		a.SetProfile(profiler.Snapshot())
+		a.SetInspector(inspector)
 		if res := campaignRes; res != nil {
 			a.Outcome["attempts"] = float64(len(res.Attempts))
 			a.Outcome["successes"] = float64(res.Successes)
@@ -238,6 +249,10 @@ func main() {
 		log.Info("run artifact written", "path", *artifactPath)
 	}
 	shutdown := func() {
+		// The campaign (or the error path) is done and the simulating
+		// goroutine is idle, so a final census/watchpoint pass reflects
+		// the end state rather than the last sample tick.
+		inspector.Finalize(reg.SimTime())
 		exportMetrics()
 		writeArtifact()
 		closeTrace()

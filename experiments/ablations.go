@@ -310,6 +310,7 @@ func thpRun(o Options, thp bool) (thpOutcome, error) {
 		Seed:           o.Seed,
 		Trace:          o.Trace,
 		Metrics:        o.Metrics,
+		Inspect:        o.Inspect,
 	}
 	h, err := kvm.NewHost(cfg)
 	if err != nil {

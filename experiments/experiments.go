@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"hyperhammer/internal/dram"
+	"hyperhammer/internal/inspect"
 	"hyperhammer/internal/kvm"
 	"hyperhammer/internal/memdef"
 	"hyperhammer/internal/metrics"
@@ -56,6 +57,12 @@ type Options struct {
 	// scoped); the engine samples the shared registry once per
 	// completed unit, tagging the series points with the unit's name.
 	Obs *obs.Plane
+	// Inspect, when non-nil, is the hardware introspection plane every
+	// booted host feeds: DRAM heatmaps, layout censuses and watchpoint
+	// alerts. Units run against scoped inspectors absorbed in
+	// declaration order, so its snapshots are byte-identical at every
+	// Parallel setting.
+	Inspect *inspect.Inspector
 }
 
 // DefaultOptions returns the full-scale deterministic defaults.
@@ -203,6 +210,7 @@ func (o Options) newHost(sys System) (*kvm.Host, error) {
 		Trace:          o.Trace,
 		Metrics:        o.Metrics,
 		Obs:            o.Obs,
+		Inspect:        o.Inspect,
 	}
 	h, err := kvm.NewHost(cfg)
 	if err != nil {

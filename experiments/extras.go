@@ -181,6 +181,7 @@ func mitigationRun(o Options, guarded bool) (mitigationOutcome, error) {
 		Quarantine:     guard,
 		Trace:          o.Trace,
 		Metrics:        o.Metrics,
+		Inspect:        o.Inspect,
 	}
 	h, err := kvm.NewHost(cfg)
 	if err != nil {
@@ -341,5 +342,6 @@ func (o Options) newHostAt(sc scale, sys System) (*kvm.Host, error) {
 		Seed:           o.Seed ^ uint64(sys)<<32,
 		Trace:          o.Trace,
 		Metrics:        o.Metrics,
+		Inspect:        o.Inspect,
 	})
 }

@@ -95,6 +95,7 @@ func trrRun(o Options, variant string, trr *dram.TRRConfig) ([]TRRRow, error) {
 		Seed:           o.Seed,
 		Trace:          o.Trace,
 		Metrics:        o.Metrics,
+		Inspect:        o.Inspect,
 	})
 	if err != nil {
 		return nil, err
@@ -214,6 +215,7 @@ func eccRun(o Options, ecc bool) (eccOutcome, error) {
 		Seed:           o.Seed,
 		Trace:          o.Trace,
 		Metrics:        o.Metrics,
+		Inspect:        o.Inspect,
 	})
 	if err != nil {
 		return eccOutcome{}, err
@@ -317,6 +319,7 @@ func multihitRun(o Options, mitigated bool) (multihitOutcome, error) {
 		Seed:               o.Seed,
 		Trace:              o.Trace,
 		Metrics:            o.Metrics,
+		Inspect:            o.Inspect,
 	})
 	if err != nil {
 		return multihitOutcome{}, err

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"hyperhammer/internal/inspect"
 	"hyperhammer/internal/metrics"
 	"hyperhammer/internal/profile"
 	"hyperhammer/internal/sched"
@@ -63,6 +64,7 @@ type unitScope struct {
 	tr   *trace.Recorder
 	reg  *metrics.Registry
 	prof *profile.Builder
+	ins  *inspect.Inspector
 }
 
 // unitResult pairs a unit's value with its scope for the merge step.
@@ -107,21 +109,24 @@ func (p *Plan) add(name string, run func(Options) (any, error), store func(any))
 		Run: func() (any, error) {
 			uo := parent
 			var scope *unitScope
-			if parent.Trace != nil || parent.Metrics != nil || parent.Obs != nil || profiler != nil {
+			if parent.Trace != nil || parent.Metrics != nil || parent.Obs != nil ||
+				parent.Inspect != nil || profiler != nil {
 				scope = &unitScope{}
-				if parent.Trace != nil || profiler != nil {
+				if parent.Trace != nil || profiler != nil || parent.Inspect != nil {
 					scope.tr = trace.NewCapture()
 				}
-				if parent.Metrics != nil || profiler != nil {
+				if parent.Metrics != nil || profiler != nil || parent.Inspect != nil {
 					scope.reg = metrics.New()
 				}
 				if profiler != nil {
 					scope.prof = profile.NewBuilder(scope.reg)
 					scope.tr.SetNamedSink("profile", scope.prof.Consume)
 				}
+				scope.ins = parent.Inspect.Scoped()
 				uo.Trace = scope.tr
 				uo.Metrics = scope.reg
 				uo.Obs = nil
+				uo.Inspect = scope.ins
 			}
 			v, err := run(uo)
 			return unitResult{v: v, scope: scope}, err
@@ -174,6 +179,7 @@ func (p *Plan) mergeScope(name string, s *unitScope) {
 	if p.o.Metrics != nil && s.reg != nil {
 		p.o.Metrics.Absorb(s.reg.Snapshot())
 	}
+	p.o.Inspect.Absorb(s.ins, name)
 	p.o.Obs.SampleUnit(name)
 }
 

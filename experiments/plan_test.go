@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"testing"
 
+	"hyperhammer/internal/inspect"
 	"hyperhammer/internal/metrics"
 	"hyperhammer/internal/profile"
 	"hyperhammer/internal/trace"
@@ -16,13 +17,14 @@ import (
 // returns everything an artifact would be built from: the rendered
 // results, the final metrics snapshot, the profile, and the raw span
 // stream.
-func planRun(t *testing.T, parallel int) (results []byte, snap metrics.Snapshot, prof *profile.Profile, spans []byte) {
+func planRun(t *testing.T, parallel int) (results []byte, snap metrics.Snapshot, prof *profile.Profile, spans, inspection []byte) {
 	t.Helper()
 	var spanBuf bytes.Buffer
 	o := shortOpts()
 	o.Parallel = parallel
 	o.Trace = trace.New(&spanBuf, 0)
 	o.Metrics = metrics.New()
+	o.Inspect = inspect.New(inspect.Config{})
 
 	p := NewPlan(o)
 	profiler := profile.NewBuilder(o.Metrics)
@@ -59,7 +61,17 @@ func planRun(t *testing.T, parallel int) (results []byte, snap metrics.Snapshot,
 	if err != nil {
 		t.Fatalf("marshal results: %v", err)
 	}
-	return out, o.Metrics.Snapshot(), profiler.Snapshot(), spanBuf.Bytes()
+	// The three introspection sections marshal exactly as a run
+	// artifact would embed them.
+	insp, err := json.Marshal(map[string]any{
+		"heatmap": o.Inspect.HeatmapSnapshot(),
+		"census":  o.Inspect.CensusSnapshot(),
+		"alerts":  o.Inspect.AlertsSnapshot(),
+	})
+	if err != nil {
+		t.Fatalf("marshal inspection: %v", err)
+	}
+	return out, o.Metrics.Snapshot(), profiler.Snapshot(), spanBuf.Bytes(), insp
 }
 
 // TestParallelMatchesSequential is the determinism gate in miniature:
@@ -67,8 +79,8 @@ func planRun(t *testing.T, parallel int) (results []byte, snap metrics.Snapshot,
 // byte-identical results, metrics, profiles, and span streams. Run
 // under -race this also exercises the scheduler's concurrency.
 func TestParallelMatchesSequential(t *testing.T) {
-	seqRes, seqSnap, seqProf, seqSpans := planRun(t, 1)
-	parRes, parSnap, parProf, parSpans := planRun(t, 4)
+	seqRes, seqSnap, seqProf, seqSpans, seqInsp := planRun(t, 1)
+	parRes, parSnap, parProf, parSpans, parInsp := planRun(t, 4)
 
 	if !bytes.Equal(seqRes, parRes) {
 		t.Errorf("results differ between parallel 1 and 4:\nseq: %s\npar: %s", seqRes, parRes)
@@ -85,6 +97,9 @@ func TestParallelMatchesSequential(t *testing.T) {
 	}
 	if !bytes.Equal(seqSpans, parSpans) {
 		t.Errorf("span streams differ (%d vs %d bytes)", len(seqSpans), len(parSpans))
+	}
+	if !bytes.Equal(seqInsp, parInsp) {
+		t.Errorf("introspection snapshots differ:\nseq: %s\npar: %s", seqInsp, parInsp)
 	}
 }
 

@@ -42,6 +42,7 @@ import (
 	"hyperhammer/internal/guest"
 	"hyperhammer/internal/hammer"
 	"hyperhammer/internal/hostload"
+	"hyperhammer/internal/inspect"
 	"hyperhammer/internal/kvm"
 	"hyperhammer/internal/memdef"
 	"hyperhammer/internal/metrics"
@@ -179,6 +180,30 @@ type ObsConfig = obs.Config
 func NewObs(reg *MetricsRegistry, cfg ObsConfig) *ObsPlane {
 	return obs.NewPlane(reg, cfg)
 }
+
+// Inspector is the hardware introspection plane: bucketed DRAM
+// activation/flip heatmaps, memory-layout censuses, and sim-time
+// watchpoint alerts. Install one via HostConfig.Inspect (every host
+// boot sizes the heatmap and arms watchpoint evaluation on its clock)
+// and serve it live with ObsPlane.SetInspector; embed its snapshots in
+// a RunArtifact with RunArtifact.SetInspector.
+type Inspector = inspect.Inspector
+
+// InspectConfig tunes an Inspector (bucket count, alert ring bound,
+// evaluation cadence, rule set); the zero value selects usable
+// defaults including DefaultWatchpointRules.
+type InspectConfig = inspect.Config
+
+// WatchpointRule is one declarative introspection threshold rule.
+type WatchpointRule = inspect.Rule
+
+// NewInspector creates a hardware introspection plane.
+func NewInspector(cfg InspectConfig) *Inspector { return inspect.New(cfg) }
+
+// DefaultWatchpointRules returns the stock watchpoint rule set (row
+// pressure vs the flip threshold, TRR neutralizations, split onset,
+// applied flips, machine checks, obs bus drops).
+func DefaultWatchpointRules() []WatchpointRule { return inspect.DefaultRules() }
 
 // CostProfiler folds the span trace into a per-phase simulated-time
 // cost profile (see internal/profile). Attach one to a trace recorder

@@ -174,6 +174,9 @@ func RunCampaign(h *kvm.Host, ccfg CampaignConfig) (*CampaignResult, error) {
 		if err != nil {
 			return res, err
 		}
+		// Stamp the attempt's end-state memory layout into the trace
+		// (no-op unless the host carries an introspection plane).
+		h.CensusEvent(fmt.Sprintf("attempt %d", attempt))
 		res.Attempts = append(res.Attempts, stats)
 		res.TotalDuration = attackClock.Elapsed()
 		res.SteerTime += stats.SteerDuration

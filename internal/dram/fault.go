@@ -130,8 +130,25 @@ type Module struct {
 	// ones, while the sequence as a whole stays deterministic.
 	ops uint64
 
+	// sink, when non-nil, receives per-row activation accumulation
+	// from every hammer operation (the introspection heatmap feed).
+	sink ActivationSink
+
 	met moduleMetrics
 }
+
+// ActivationSink accumulates per-row activation pressure from hammer
+// operations. Implementations must be cheap: the hook runs on the
+// hammer hot path, once per active aggressor row per operation.
+type ActivationSink interface {
+	// RecordRowActivations reports that (bank, row) was activated
+	// n more times within one refresh window.
+	RecordRowActivations(bank, row int, n int64)
+}
+
+// SetActivationSink installs (or, with nil, removes) the module's
+// activation sink.
+func (m *Module) SetActivationSink(s ActivationSink) { m.sink = s }
 
 // moduleMetrics caches the module's instrument handles. All handles
 // are nil (no-op) until SetMetrics.
@@ -339,6 +356,14 @@ func (m *Module) Hammer(op HammerOp) []CandidateFlip {
 	if cap := m.windowActivations(); rounds > cap {
 		rounds = cap
 		m.met.windowClips.Inc()
+	}
+	if m.sink != nil {
+		// Post-TRR, post-clip: the sink sees the activations that
+		// actually disturb neighbours, which is what a per-row
+		// pressure watchpoint wants to compare against thresholds.
+		for _, ag := range active {
+			m.sink.RecordRowActivations(ag.Bank, ag.Row, int64(rounds))
+		}
 	}
 
 	// Accumulate disturbance per victim row.

@@ -147,6 +147,12 @@ type Table struct {
 	// dump and for teardown.
 	tables map[memdef.PFN]int
 
+	// leaf4k and leaf2m count installed leaf mappings by page size.
+	// Like tables, this is hypervisor bookkeeping — flip-corrupted
+	// entries still count as whatever was installed — maintained O(1)
+	// so the layout census never walks the structure.
+	leaf4k, leaf2m int
+
 	met tableMetrics
 }
 
@@ -273,6 +279,7 @@ func (t *Table) Map4K(va uint64, frame memdef.PFN, perm Perm) error {
 		return ErrAlreadyMapped
 	}
 	t.writeEntry(tp, va, leafLevel, NewEntry(frame, perm, false))
+	t.leaf4k++
 	return nil
 }
 
@@ -290,6 +297,7 @@ func (t *Table) Map2M(va uint64, frame memdef.PFN, perm Perm) error {
 		return ErrAlreadyMapped
 	}
 	t.writeEntry(tp, va, 2, NewEntry(frame, perm, true))
+	t.leaf2m++
 	return nil
 }
 
@@ -396,6 +404,8 @@ func (t *Table) SplitHuge(va uint64, perm Perm) (memdef.PFN, error) {
 		t.mem.SetPageWord(leaf, i, uint64(NewEntry(base+memdef.PFN(i), perm, false)))
 	}
 	t.writeEntry(tp, va, 2, NewEntry(leaf, PermRWX, false))
+	t.leaf2m--
+	t.leaf4k += memdef.PagesPerHuge
 	return leaf, nil
 }
 
@@ -409,7 +419,31 @@ func (t *Table) Unmap(va uint64) (Entry, error) {
 	}
 	e := Entry(t.mem.Word(tr.EntryAddr))
 	t.mem.SetWord(tr.EntryAddr, 0)
+	if tr.Level == 2 {
+		t.leaf2m--
+	} else {
+		t.leaf4k--
+	}
 	return e, nil
+}
+
+// Leaves returns the installed leaf-mapping counts by page size
+// (4 KiB, 2 MiB), per bookkeeping. The memory-layout census reads the
+// guest's page-size distribution from here without walking the
+// structure.
+func (t *Table) Leaves() (leaf4k, leaf2m int) { return t.leaf4k, t.leaf2m }
+
+// TableCountByLevel returns how many table pages exist at each level
+// (index = level, 0 unused), the O(levels) form of TablePages for the
+// layout census.
+func (t *Table) TableCountByLevel() [Levels5 + 1]int {
+	var counts [Levels5 + 1]int
+	for _, l := range t.tables {
+		if l >= 0 && l <= Levels5 {
+			counts[l]++
+		}
+	}
+	return counts
 }
 
 // TablePages returns the frames of all hypervisor-allocated table

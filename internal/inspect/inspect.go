@@ -1,0 +1,408 @@
+// Package inspect is the simulated-hardware introspection plane: where
+// internal/metrics and internal/obs show what the *runner* is doing,
+// inspect snapshots what the *simulated machine* looks like while a
+// campaign runs — per-bank DRAM activation heatmaps and flip maps fed
+// by cheap accumulation hooks in the fault model, a memory-layout
+// census folding EPT page-size distribution, buddy freelist occupancy,
+// virtio-mem plug state and frame ownership into one structure, and a
+// sim-time watchpoint engine evaluating declarative threshold rules at
+// sample ticks.
+//
+// Like the rest of the observability stack, the plane observes from
+// the host operator's side and feeds nothing back into simulated
+// state; everything it records is driven by the simulated clock and
+// seed-deterministic inputs, so enabling it cannot perturb results and
+// its snapshots are byte-identical across runs and across -parallel
+// worker counts (per-unit inspectors absorb in declaration order,
+// mirroring the metrics/trace/profile scopes).
+package inspect
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"hyperhammer/internal/metrics"
+)
+
+// Config tunes an Inspector. The zero value selects usable defaults.
+type Config struct {
+	// RowBuckets is the per-bank heatmap bucket count (default
+	// DefaultRowBuckets).
+	RowBuckets int
+	// MaxAlerts bounds the retained alert ring (default 256; totals
+	// keep counting past the bound).
+	MaxAlerts int
+	// SampleEvery is the simulated-time interval between watchpoint
+	// evaluations (default 1 simulated second). Independent of the
+	// obs sampling interval so artifacts don't change with -obs-sample.
+	SampleEvery time.Duration
+	// Rules is the watchpoint rule set (nil selects DefaultRules).
+	Rules []Rule
+}
+
+// DefaultMaxAlerts bounds the retained alert ring.
+const DefaultMaxAlerts = 256
+
+func (c Config) withDefaults() Config {
+	if c.RowBuckets <= 0 {
+		c.RowBuckets = DefaultRowBuckets
+	}
+	if c.MaxAlerts <= 0 {
+		c.MaxAlerts = DefaultMaxAlerts
+	}
+	if c.SampleEvery <= 0 {
+		c.SampleEvery = time.Second
+	}
+	if c.Rules == nil {
+		c.Rules = DefaultRules()
+	}
+	return c
+}
+
+// Inspector accumulates introspection state for one telemetry scope: a
+// whole CLI run, or one scheduled plan unit (see Scoped/Absorb). All
+// methods are safe for concurrent use and no-ops on a nil receiver, so
+// config threading never guards.
+type Inspector struct {
+	cfg Config
+
+	mu   sync.Mutex
+	heat *Heatmap
+	// reg is the metrics registry watchpoint rules read values from.
+	reg *metrics.Registry
+	// censusFn builds the bound host's current census.
+	censusFn func() Census
+	// emit publishes fired alerts as structured trace events
+	// ("watchpoint.alert"), which the obs plane's trace tap relays
+	// onto the event bus.
+	emit func(kind string, kv ...any)
+
+	rules  []Rule
+	state  []ruleState
+	alerts []Alert
+	total  uint64
+	byRule map[string]uint64
+
+	// census caches the bound host's census as of the last Evaluate
+	// tick. The cache is what concurrent readers (the HTTP endpoints,
+	// the live artifact builder) see: censusFn walks raw host state
+	// and is only ever called on the simulating goroutine.
+	census *Census
+
+	// absorbed holds per-unit censuses folded in declaration order.
+	absorbed []TaggedCensus
+}
+
+// New creates an Inspector.
+func New(cfg Config) *Inspector {
+	cfg = cfg.withDefaults()
+	return &Inspector{
+		cfg:    cfg,
+		heat:   NewHeatmap(0, 0, cfg.RowBuckets),
+		rules:  append([]Rule(nil), cfg.Rules...),
+		state:  make([]ruleState, len(cfg.Rules)),
+		byRule: make(map[string]uint64),
+	}
+}
+
+// Scoped returns a fresh Inspector with the same configuration, for
+// one scheduled plan unit; fold it back with Absorb. Nil-safe.
+func (ins *Inspector) Scoped() *Inspector {
+	if ins == nil {
+		return nil
+	}
+	return New(ins.cfg)
+}
+
+// SampleEvery returns the watchpoint evaluation interval.
+func (ins *Inspector) SampleEvery() time.Duration {
+	if ins == nil {
+		return 0
+	}
+	return ins.cfg.SampleEvery
+}
+
+// BindMachine sizes the heatmap for a host's DRAM dimensions. Called
+// at host boot; re-binding (a unit booting several hosts) keeps
+// accumulated counts and grows dimensions as needed.
+func (ins *Inspector) BindMachine(banks, rows int) {
+	if ins == nil {
+		return
+	}
+	ins.mu.Lock()
+	ins.heat.resize(banks, rows)
+	ins.mu.Unlock()
+}
+
+// SetMetrics installs the registry watchpoint rules read from.
+func (ins *Inspector) SetMetrics(reg *metrics.Registry) {
+	if ins == nil {
+		return
+	}
+	ins.mu.Lock()
+	ins.reg = reg
+	ins.mu.Unlock()
+}
+
+// SetCensusFunc installs the bound host's census builder; the most
+// recently bound host is the "live machine" census snapshots describe.
+func (ins *Inspector) SetCensusFunc(fn func() Census) {
+	if ins == nil {
+		return
+	}
+	ins.mu.Lock()
+	ins.censusFn = fn
+	ins.mu.Unlock()
+}
+
+// SetEmit installs the structured-event hook fired alerts go through
+// (normally the host trace recorder's Emit).
+func (ins *Inspector) SetEmit(fn func(kind string, kv ...any)) {
+	if ins == nil {
+		return
+	}
+	ins.mu.Lock()
+	ins.emit = fn
+	ins.mu.Unlock()
+}
+
+// RecordRowActivations implements dram.ActivationSink: the fault model
+// reports post-TRR, window-clipped per-row activation pressure here.
+func (ins *Inspector) RecordRowActivations(bank, row int, n int64) {
+	if ins == nil {
+		return
+	}
+	ins.mu.Lock()
+	ins.heat.addActivations(bank, row, n)
+	ins.mu.Unlock()
+}
+
+// RecordFlip records one applied bit flip on (bank, row).
+func (ins *Inspector) RecordFlip(bank, row int) {
+	if ins == nil {
+		return
+	}
+	ins.mu.Lock()
+	ins.heat.addFlip(bank, row)
+	ins.mu.Unlock()
+}
+
+// Evaluate runs every watchpoint rule against the current machine at
+// the given simulated time and refreshes the census cache.
+// kvm.NewHost arms it on the host clock via OnTick, so it always runs
+// on the simulating goroutine; tests call it directly.
+func (ins *Inspector) Evaluate(now time.Duration) {
+	if ins == nil {
+		return
+	}
+	ins.mu.Lock()
+	fn := ins.censusFn
+	ins.mu.Unlock()
+	var census *Census
+	if fn != nil {
+		// Outside the lock: the builder walks host structures and may
+		// take arbitrary time relative to concurrent snapshot readers.
+		c := fn()
+		census = &c
+	}
+	ins.mu.Lock()
+	defer ins.mu.Unlock()
+	if census != nil {
+		ins.census = census
+	}
+	if len(ins.rules) == 0 {
+		return
+	}
+	t := now.Seconds()
+	vals := ins.valuesLocked()
+	for i := range ins.rules {
+		r := ins.rules[i]
+		st := &ins.state[i]
+		key := r.Metric
+		isRate := false
+		if inner, ok := rateInner(r.Metric); ok {
+			key, isRate = inner, true
+		}
+		v, ok := vals[key]
+		if !ok {
+			continue
+		}
+		if isRate {
+			raw := v
+			if !st.hasPrev || t <= st.prevT {
+				st.prevVal, st.prevT, st.hasPrev = raw, t, true
+				continue
+			}
+			v = (raw - st.prevVal) / (t - st.prevT)
+			st.prevVal, st.prevT = raw, t
+		}
+		cond := compare(v, r.Op, r.Threshold)
+		fire := cond && (r.Mode == Level || !st.active)
+		st.active = cond
+		if fire {
+			ins.fireLocked(r, "", t, v)
+		}
+	}
+}
+
+// fireLocked records one alert and emits it as a structured event.
+func (ins *Inspector) fireLocked(r Rule, unit string, t, v float64) {
+	ins.total++
+	ins.byRule[r.Name]++
+	ins.alerts = append(ins.alerts, Alert{
+		Rule: r.Name, Expr: r.Expr(), Unit: unit, SimSeconds: t, Value: v,
+	})
+	if len(ins.alerts) > ins.cfg.MaxAlerts {
+		ins.alerts = ins.alerts[len(ins.alerts)-ins.cfg.MaxAlerts:]
+	}
+	if ins.emit != nil {
+		ins.emit("watchpoint.alert",
+			"rule", r.Name, "expr", r.Expr(), "value", v, "mode", string(r.Mode))
+	}
+}
+
+// valuesLocked builds the value map rules resolve against: every
+// registry counter and gauge under both its bare name (summed across
+// labels) and its "name{k=v}" series key, plus heatmap-derived dram.*
+// values.
+func (ins *Inspector) valuesLocked() map[string]float64 {
+	vals := make(map[string]float64, 64)
+	snap := ins.reg.Snapshot()
+	addSample := func(s metrics.Sample) {
+		vals[s.Name] += s.Value
+		if len(s.Labels) > 0 {
+			key := s.Name + "{"
+			for i := 0; i+1 < len(s.Labels); i += 2 {
+				if i > 0 {
+					key += ","
+				}
+				key += s.Labels[i] + "=" + s.Labels[i+1]
+			}
+			vals[key+"}"] = s.Value
+		}
+	}
+	for _, s := range snap.Counters {
+		addSample(s)
+	}
+	for _, s := range snap.Gauges {
+		addSample(s)
+	}
+	vals["dram.row_window_activations"] = float64(ins.heat.maxRowWindow)
+	vals["dram.total_activations"] = float64(ins.heat.totalAct)
+	vals["dram.total_flips"] = float64(ins.heat.totalFlips)
+	return vals
+}
+
+// Absorb folds a completed scoped Inspector into this one, tagging its
+// census and alerts with the plan unit's name. The parallel experiment
+// engine calls this at delivery, in declaration order, which is what
+// keeps snapshots byte-identical at any -parallel setting. Nil-safe on
+// both sides.
+func (ins *Inspector) Absorb(child *Inspector, unit string) {
+	if ins == nil || child == nil {
+		return
+	}
+	child.mu.Lock()
+	heat := child.heat
+	censusFn := child.censusFn
+	alerts := append([]Alert(nil), child.alerts...)
+	total := child.total
+	byRule := make(map[string]uint64, len(child.byRule))
+	for k, v := range child.byRule {
+		byRule[k] = v
+	}
+	nested := append([]TaggedCensus(nil), child.absorbed...)
+	child.mu.Unlock()
+
+	var census *Census
+	if censusFn != nil {
+		c := censusFn()
+		census = &c
+	}
+
+	ins.mu.Lock()
+	defer ins.mu.Unlock()
+	ins.heat.absorb(heat)
+	ins.absorbed = append(ins.absorbed, nested...)
+	if census != nil {
+		ins.absorbed = append(ins.absorbed, TaggedCensus{Unit: unit, Census: *census})
+	}
+	ins.total += total
+	for k, v := range byRule {
+		ins.byRule[k] += v
+	}
+	for _, a := range alerts {
+		if a.Unit == "" {
+			a.Unit = unit
+		}
+		ins.alerts = append(ins.alerts, a)
+	}
+	if len(ins.alerts) > ins.cfg.MaxAlerts {
+		ins.alerts = ins.alerts[len(ins.alerts)-ins.cfg.MaxAlerts:]
+	}
+}
+
+// HeatmapSnapshot copies the current heatmap. Nil-safe (empty
+// snapshot).
+func (ins *Inspector) HeatmapSnapshot() HeatmapSnapshot {
+	if ins == nil {
+		return HeatmapSnapshot{Activations: [][]int64{}, Flips: [][]int64{}}
+	}
+	ins.mu.Lock()
+	defer ins.mu.Unlock()
+	return ins.heat.snapshot()
+}
+
+// Finalize refreshes the census cache and evaluates the rules one
+// last time at the final clock reading. CLIs call it after the run
+// completes (the simulating goroutine is idle, so walking host state
+// is safe) and before building the artifact, so the embedded census
+// reflects the end state rather than the last tick.
+func (ins *Inspector) Finalize(now time.Duration) { ins.Evaluate(now) }
+
+// CensusSnapshot returns every absorbed unit census in declaration
+// order, then the bound host's census as of the last Evaluate tick.
+// Nil-safe.
+func (ins *Inspector) CensusSnapshot() CensusSnapshot {
+	s := CensusSnapshot{Censuses: []TaggedCensus{}}
+	if ins == nil {
+		return s
+	}
+	ins.mu.Lock()
+	defer ins.mu.Unlock()
+	s.Censuses = append(s.Censuses, ins.absorbed...)
+	if ins.census != nil {
+		s.Censuses = append(s.Censuses, TaggedCensus{Census: *ins.census})
+	}
+	return s
+}
+
+// AlertsSnapshot copies the fired-alert state. Nil-safe.
+func (ins *Inspector) AlertsSnapshot() AlertsSnapshot {
+	s := AlertsSnapshot{ByRule: []RuleCount{}, Recent: []Alert{}}
+	if ins == nil {
+		return s
+	}
+	ins.mu.Lock()
+	defer ins.mu.Unlock()
+	s.Total = ins.total
+	s.Recent = append(s.Recent, ins.alerts...)
+	names := make([]string, 0, len(ins.byRule))
+	for k := range ins.byRule {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		s.ByRule = append(s.ByRule, RuleCount{Rule: n, Count: ins.byRule[n]})
+	}
+	return s
+}
+
+// Rules returns the configured rule set (for rendering).
+func (ins *Inspector) Rules() []Rule {
+	if ins == nil {
+		return nil
+	}
+	return append([]Rule(nil), ins.rules...)
+}

@@ -17,6 +17,7 @@ import (
 
 	"hyperhammer/internal/buddy"
 	"hyperhammer/internal/dram"
+	"hyperhammer/internal/inspect"
 	"hyperhammer/internal/memdef"
 	"hyperhammer/internal/metrics"
 	"hyperhammer/internal/obs"
@@ -82,6 +83,12 @@ type Config struct {
 	// (streaming events to subscribers). The plane should wrap the same
 	// registry as Metrics.
 	Obs *obs.Plane
+	// Inspect, when non-nil, is the hardware introspection plane: at
+	// boot the host sizes its DRAM heatmap, points it at Metrics,
+	// installs the census builder, and arms watchpoint evaluation on
+	// the simulated clock. Fired alerts surface as "watchpoint.alert"
+	// trace events.
+	Inspect *inspect.Inspector
 }
 
 // DefaultConfig returns an S1-like host: i3-10100 geometry, S1 fault
@@ -229,6 +236,7 @@ func NewHost(cfg Config) (*Host, error) {
 	h.cfg.Trace.BindClock(h.Clock)
 	h.cfg.Obs.TapTrace(h.cfg.Trace)
 	h.cfg.Obs.BindClock(h.Clock)
+	h.bindInspector()
 	h.cfg.Trace.Emit("host.boot",
 		"geometry", cfg.Geometry.Name,
 		"memBytes", cfg.Geometry.Size,
@@ -418,6 +426,7 @@ func (h *Host) applyFlips(cands []dram.CandidateFlip) int {
 			h.flipLog = append(h.flipLog, AppliedFlip{Addr: f.Addr, Bit: f.Bit, Direction: f.Direction})
 			applied++
 			h.met.flips[f.Direction].Inc()
+			h.cfg.Inspect.RecordFlip(h.cfg.Geometry.Bank(f.Addr), h.cfg.Geometry.Row(f.Addr))
 			h.cfg.Trace.Emit("dram.flip",
 				"hpa", fmt.Sprintf("%#x", f.Addr), "bit", f.Bit, "dir", f.Direction)
 		}

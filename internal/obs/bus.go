@@ -24,6 +24,8 @@ package obs
 import (
 	"sync"
 	"sync/atomic"
+
+	"hyperhammer/internal/metrics"
 )
 
 // Event is one bus message: a trace event or a sampler tick, stamped
@@ -56,6 +58,10 @@ type Bus struct {
 	// subscribers (0 disables).
 	keep   int
 	recent []Event
+	// dropCtr, when set, mirrors the drop total into the metrics
+	// registry (obs_bus_dropped_total), so silent event loss is
+	// visible to dashboards and watchpoint rules.
+	dropCtr *metrics.Counter
 }
 
 // NewBus creates a bus retaining the last keep events for replay.
@@ -143,8 +149,20 @@ func (b *Bus) Publish(kind string, simSeconds float64, data map[string]any) {
 		default:
 			s.dropped.Add(1)
 			b.dropped++
+			b.dropCtr.Inc()
 		}
 	}
+}
+
+// SetDropCounter installs a registry counter that mirrors the bus's
+// drop total. Safe on a nil receiver and with a nil counter.
+func (b *Bus) SetDropCounter(c *metrics.Counter) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.dropCtr = c
+	b.mu.Unlock()
 }
 
 // Recent returns the replay ring, oldest first.

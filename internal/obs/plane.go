@@ -4,6 +4,7 @@ import (
 	"sync"
 	"time"
 
+	"hyperhammer/internal/inspect"
 	"hyperhammer/internal/metrics"
 	"hyperhammer/internal/profile"
 	"hyperhammer/internal/simtime"
@@ -21,6 +22,10 @@ type Config struct {
 	// EventKeep is how many bus events are retained for replay to
 	// late subscribers (default 256).
 	EventKeep int
+	// KeepAlive is the wall-clock interval between SSE comment
+	// frames on /api/events (default 5s). Keepalives let proxies and
+	// clients distinguish a quiet simulation from a dead connection.
+	KeepAlive time.Duration
 }
 
 // Plane wires a metrics registry, the trace recorder, and host clocks
@@ -29,15 +34,17 @@ type Config struct {
 // nil *Plane is a valid no-op, matching the nil registry and recorder,
 // so config threading never guards.
 type Plane struct {
-	reg   *metrics.Registry
-	bus   *Bus
-	store *Store
-	every time.Duration
-	start time.Time
+	reg       *metrics.Registry
+	bus       *Bus
+	store     *Store
+	every     time.Duration
+	keepalive time.Duration
+	start     time.Time
 
-	mu       sync.Mutex
-	profiler *profile.Builder
-	artifact func() any
+	mu        sync.Mutex
+	profiler  *profile.Builder
+	artifact  func() any
+	inspector *inspect.Inspector
 }
 
 // NewPlane creates a plane over reg (which may be nil: the plane then
@@ -49,13 +56,23 @@ func NewPlane(reg *metrics.Registry, cfg Config) *Plane {
 	if cfg.EventKeep <= 0 {
 		cfg.EventKeep = 256
 	}
-	return &Plane{
-		reg:   reg,
-		bus:   NewBus(cfg.EventKeep),
-		store: NewStore(cfg.SeriesCap),
-		every: cfg.SampleEvery,
-		start: time.Now(),
+	if cfg.KeepAlive <= 0 {
+		cfg.KeepAlive = 5 * time.Second
 	}
+	p := &Plane{
+		reg:       reg,
+		bus:       NewBus(cfg.EventKeep),
+		store:     NewStore(cfg.SeriesCap),
+		every:     cfg.SampleEvery,
+		keepalive: cfg.KeepAlive,
+		start:     time.Now(),
+	}
+	// Surface the bus's drop total as a registry metric so dashboards
+	// and the default watchpoint rules see silent event loss; stays at
+	// zero in deterministic runs (no slow subscribers).
+	p.bus.SetDropCounter(reg.Counter("obs_bus_dropped_total",
+		"Events the observability bus dropped on full subscriber buffers."))
+	return p
 }
 
 // Registry returns the plane's registry (nil on a nil plane).
@@ -176,6 +193,38 @@ func (p *Plane) Profile() *profile.Profile {
 	b := p.profiler
 	p.mu.Unlock()
 	return b.Snapshot()
+}
+
+// SetInspector installs the hardware introspection plane the server's
+// /api/heatmap, /api/census and /api/alerts endpoints serve from. A
+// nil inspector (or never calling this) makes those endpoints serve
+// empty-but-schema-valid snapshots. Safe on a nil receiver.
+func (p *Plane) SetInspector(ins *inspect.Inspector) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.inspector = ins
+	p.mu.Unlock()
+}
+
+// Inspector returns the installed introspection plane (nil when
+// unset; inspect snapshots are nil-safe).
+func (p *Plane) Inspector() *inspect.Inspector {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.inspector
+}
+
+// KeepAlive returns the SSE keepalive interval.
+func (p *Plane) KeepAlive() time.Duration {
+	if p == nil {
+		return 0
+	}
+	return p.keepalive
 }
 
 // SetArtifactFunc installs the callback /api/artifact serves. The

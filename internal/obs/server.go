@@ -23,6 +23,10 @@ import (
 //	/api/profile   live sim-time cost profile (?format=json|folded|pprof)
 //	/api/artifact  current run-artifact bundle, when the CLI installed
 //	               a builder (404 otherwise)
+//	/api/heatmap   bucketed DRAM activation/flip heatmap (introspection
+//	               plane; empty-but-valid without an inspector)
+//	/api/census    memory-layout census per plan unit + live host
+//	/api/alerts    fired watchpoint alerts (totals, per-rule, ring)
 //	/debug/pprof/  the standard Go profiler endpoints (wall-clock; the
 //	               simulation's own profile is /api/profile)
 type Server struct {
@@ -51,6 +55,9 @@ func (p *Plane) Serve(addr string) (*Server, error) {
 	mux.HandleFunc("/api/events", s.handleEvents)
 	mux.HandleFunc("/api/profile", s.handleProfile)
 	mux.HandleFunc("/api/artifact", s.handleArtifact)
+	mux.HandleFunc("/api/heatmap", s.handleHeatmap)
+	mux.HandleFunc("/api/census", s.handleCensus)
+	mux.HandleFunc("/api/alerts", s.handleAlerts)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -157,6 +164,24 @@ func (s *Server) handleArtifact(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, fn())
 }
 
+// handleHeatmap serves the introspection plane's DRAM heatmap. The
+// snapshot methods are nil-safe, so the shape contract holds with no
+// inspector installed: arrays are [] and never null.
+func (s *Server) handleHeatmap(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, s.plane.Inspector().HeatmapSnapshot())
+}
+
+// handleCensus serves the memory-layout census (plan units in
+// declaration order, live host last).
+func (s *Server) handleCensus(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, s.plane.Inspector().CensusSnapshot())
+}
+
+// handleAlerts serves the fired-watchpoint state.
+func (s *Server) handleAlerts(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, s.plane.Inspector().AlertsSnapshot())
+}
+
 // handleEvents streams the bus over SSE: the replay ring first, then
 // live events until the client disconnects or the server closes.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
@@ -192,10 +217,21 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		lastSeq = ev.Seq
 	}
 	flusher.Flush()
+	// Keepalive comment frames ride alongside data on a wall-clock
+	// ticker: a quiet simulation (or one the scheduler has parked)
+	// still produces bytes, so clients and proxies can tell an idle
+	// stream from a dead one.
+	ka := time.NewTicker(s.plane.KeepAlive())
+	defer ka.Stop()
 	for {
 		select {
 		case <-r.Context().Done():
 			return
+		case <-ka.C:
+			if _, err := fmt.Fprint(w, ": keepalive\n\n"); err != nil {
+				return
+			}
+			flusher.Flush()
 		case ev, ok := <-sub.Events():
 			if !ok {
 				return

@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"hyperhammer/internal/inspect"
 	"hyperhammer/internal/metrics"
 	"hyperhammer/internal/profile"
 	"hyperhammer/internal/simtime"
@@ -327,6 +328,11 @@ func TestConcurrentScrapeWhileSimulating(t *testing.T) {
 	rec.BindClock(clock)
 	p.TapTrace(rec)
 	p.BindClock(clock)
+	ins := inspect.New(inspect.Config{})
+	ins.BindMachine(4, 2048)
+	ins.SetMetrics(reg)
+	ins.SetCensusFunc(func() inspect.Census { return inspect.Census{VMs: 1} })
+	p.SetInspector(ins)
 	srv, err := p.Serve("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -340,10 +346,13 @@ func TestConcurrentScrapeWhileSimulating(t *testing.T) {
 		for i := 0; i < 300; i++ {
 			c.Inc()
 			rec.Emit("tick", "i", i)
+			ins.RecordRowActivations(i%4, i%2048, 100)
 			clock.Advance(500 * time.Millisecond)
+			ins.Evaluate(clock.Now())
 		}
 	}()
-	paths := []string{"/healthz", "/metrics", "/api/snapshot", "/api/series", "/"}
+	paths := []string{"/healthz", "/metrics", "/api/snapshot", "/api/series", "/",
+		"/api/heatmap", "/api/census", "/api/alerts"}
 	for _, path := range paths {
 		path := path
 		go func() {

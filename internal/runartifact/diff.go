@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"hyperhammer/internal/benchfmt"
+	"hyperhammer/internal/inspect"
 	"hyperhammer/internal/report"
 )
 
@@ -36,7 +37,7 @@ func DefaultTolerances() Tolerances {
 // Delta is one compared figure.
 type Delta struct {
 	// Kind groups the row: "run" (headline), "phase" (profile path),
-	// "counter", "outcome", or "bench".
+	// "counter", "outcome", "heatmap", "census", "alerts", or "bench".
 	Kind string `json:"kind"`
 	// Key identifies the figure within its kind (span path, metric
 	// name+labels, benchmark name).
@@ -141,10 +142,96 @@ func Compare(a, b *Artifact, tol Tolerances) *Diff {
 		add("outcome", key, a.Outcome[key], b.Outcome[key], tol.CountFrac, tol.CountAbs)
 	}
 
+	// Introspection-plane sections (heatmap / census / alerts) compare
+	// under the counter tolerance, which defaults to zero: any drift in
+	// where activations landed or which watchpoints fired means the
+	// simulation behaved differently.
+	if a.Heatmap != nil || b.Heatmap != nil {
+		ha, hb := heatmapMap(a.Heatmap), heatmapMap(b.Heatmap)
+		for _, key := range unionKeys(ha, hb) {
+			add("heatmap", key, ha[key], hb[key], tol.CountFrac, tol.CountAbs)
+		}
+	}
+	if a.Census != nil || b.Census != nil {
+		ca, cb := censusMap(a.Census), censusMap(b.Census)
+		for _, key := range unionKeys(ca, cb) {
+			add("census", key, ca[key], cb[key], tol.CountFrac, tol.CountAbs)
+		}
+	}
+	if a.Alerts != nil || b.Alerts != nil {
+		aa, ab := alertsMap(a.Alerts), alertsMap(b.Alerts)
+		for _, key := range unionKeys(aa, ab) {
+			add("alerts", key, aa[key], ab[key], tol.CountFrac, tol.CountAbs)
+		}
+	}
+
 	if a.Bench != nil && b.Bench != nil {
 		benchDeltas(d, a.Bench, b.Bench, tol)
 	}
 	return d
+}
+
+// heatmapMap flattens a heatmap snapshot to comparison keys: the
+// headline totals, per-bank sums, and an FNV-1a fingerprint over the
+// full per-bucket grid so any cell-level drift is caught without
+// emitting thousands of rows.
+func heatmapMap(h *inspect.HeatmapSnapshot) map[string]float64 {
+	m := map[string]float64{}
+	if h == nil {
+		return m
+	}
+	m["banks"] = float64(h.Banks)
+	m["buckets"] = float64(h.Buckets)
+	m["total_activations"] = float64(h.TotalActivations)
+	m["total_flips"] = float64(h.TotalFlips)
+	m["max_row_window"] = float64(h.MaxRowWindowActivations)
+	fp := uint64(14695981039346656037)
+	mix := func(v int64) {
+		for i := 0; i < 8; i++ {
+			fp ^= uint64(v>>(8*i)) & 0xff
+			fp *= 1099511628211
+		}
+	}
+	for bank := 0; bank < len(h.Activations); bank++ {
+		var act, flips int64
+		for _, c := range h.Activations[bank] {
+			act += c
+			mix(c)
+		}
+		if bank < len(h.Flips) {
+			for _, c := range h.Flips[bank] {
+				flips += c
+				mix(c)
+			}
+		}
+		m[fmt.Sprintf("bank[%d].activations", bank)] = float64(act)
+		m[fmt.Sprintf("bank[%d].flips", bank)] = float64(flips)
+	}
+	// Fold to float-exact 52 bits so the value survives the float64
+	// comparison machinery unchanged.
+	m["grid_fingerprint"] = float64(fp % (1 << 52))
+	return m
+}
+
+// censusMap flattens census snapshots to comparison keys.
+func censusMap(s *inspect.CensusSnapshot) map[string]float64 {
+	m := map[string]float64{}
+	inspect.FlattenCensuses(s, func(key string, v float64) { m[key] = v })
+	return m
+}
+
+// alertsMap flattens the alert table: overall total and per-rule fired
+// counts.
+func alertsMap(s *inspect.AlertsSnapshot) map[string]float64 {
+	m := map[string]float64{}
+	if s == nil {
+		return m
+	}
+	m["total"] = float64(s.Total)
+	for _, rc := range s.ByRule {
+		m["rule["+rc.Rule+"]"] = float64(rc.Count)
+	}
+	return m
 }
 
 // CompareBench diffs two plain benchmark documents (BENCH_*.json).

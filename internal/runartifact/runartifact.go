@@ -20,6 +20,7 @@ import (
 	"os"
 
 	"hyperhammer/internal/benchfmt"
+	"hyperhammer/internal/inspect"
 	"hyperhammer/internal/metrics"
 	"hyperhammer/internal/profile"
 )
@@ -71,6 +72,26 @@ type Artifact struct {
 	// Bench optionally embeds a benchmark document so one artifact can
 	// carry both simulated and wall-clock figures.
 	Bench *benchfmt.Output `json:"bench,omitempty"`
+	// Heatmap, Census and Alerts embed the hardware introspection
+	// plane's snapshots when the run carried an inspector; hh-diff
+	// compares all three with zero default tolerance and hh-top/
+	// hh-inspect render them offline.
+	Heatmap *inspect.HeatmapSnapshot `json:"heatmap,omitempty"`
+	Census  *inspect.CensusSnapshot  `json:"census,omitempty"`
+	Alerts  *inspect.AlertsSnapshot  `json:"alerts,omitempty"`
+}
+
+// SetInspector embeds the inspector's three snapshots; a nil inspector
+// leaves the artifact without introspection sections (old readers and
+// hh-diff treat missing sections as absent, not as zeros drifting).
+func (a *Artifact) SetInspector(ins *inspect.Inspector) {
+	if ins == nil {
+		return
+	}
+	h := ins.HeatmapSnapshot()
+	c := ins.CensusSnapshot()
+	al := ins.AlertsSnapshot()
+	a.Heatmap, a.Census, a.Alerts = &h, &c, &al
 }
 
 // New returns an artifact shell with the identifying fields set.
