@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race vet bench bench-short tables demo fuzz profile-gate parallel-gate clean
+.PHONY: all build test test-short test-race vet lint bench bench-short tables demo fuzz profile-gate parallel-gate clean
 
 all: build vet test
 
@@ -11,6 +11,16 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis beyond vet. staticcheck is optional locally (offline
+# containers can't fetch it); CI installs it and fails on findings.
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed, ran go vet only"; \
+		echo "lint: install with: go install honnef.co/go/tools/cmd/staticcheck@latest"; \
+	fi
 
 test:
 	$(GO) test ./...

@@ -20,6 +20,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -81,23 +82,39 @@ func main() {
 	}
 }
 
-// load reads path as a run artifact, falling back to a benchmark
-// document. Exactly one of the returns is non-nil on success.
+// load reads path as a run artifact or a benchmark document. Exactly
+// one of the returns is non-nil on success.
+//
+// The kind is sniffed before full decoding so a damaged file is
+// reported for what it is: a truncated artifact used to fall through
+// to the bench decoder and surface as a baffling "not a bench
+// document" error.
 func load(path string) (*runartifact.Artifact, *benchfmt.Output, error) {
-	if a, err := runartifact.ReadFile(path); err == nil {
-		return a, nil, nil
-	}
-	f, err := os.Open(path)
+	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, nil, err
 	}
-	defer f.Close()
-	var out benchfmt.Output
-	if err := json.NewDecoder(f).Decode(&out); err != nil {
-		return nil, nil, fmt.Errorf("%s: neither a run artifact nor a bench document: %w", path, err)
+	var probe struct {
+		Version     int             `json:"version"`
+		GeneratedAt string          `json:"generatedAt"`
+		Benchmarks  json.RawMessage `json:"benchmarks"`
 	}
-	if out.GeneratedAt == "" && out.Benchmarks == nil {
-		return nil, nil, fmt.Errorf("%s: neither a run artifact nor a bench document", path)
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return nil, nil, fmt.Errorf("%s: corrupt or truncated JSON: %v", path, err)
+	}
+	if probe.Version != 0 {
+		a, err := runartifact.Read(bytes.NewReader(data))
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return a, nil, nil
+	}
+	if probe.GeneratedAt == "" && probe.Benchmarks == nil {
+		return nil, nil, fmt.Errorf("%s: neither a run artifact (no version field) nor a bench document", path)
+	}
+	var out benchfmt.Output
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, nil, fmt.Errorf("%s: corrupt bench document: %v", path, err)
 	}
 	return nil, &out, nil
 }

@@ -1,0 +1,97 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadArtifact(t *testing.T) {
+	path := writeTemp(t, "art.json", `{"version":1,"tool":"hyperhammer","seed":4,"simSeconds":1.5,"metrics":{}}`)
+	a, b, err := load(path)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if a == nil || b != nil {
+		t.Fatalf("want artifact, got (artifact=%v, bench=%v)", a != nil, b != nil)
+	}
+	if a.Seed != 4 {
+		t.Errorf("seed = %d, want 4", a.Seed)
+	}
+}
+
+func TestLoadBench(t *testing.T) {
+	path := writeTemp(t, "bench.json", `{"generatedAt":"2026-01-01T00:00:00Z","benchmarks":[]}`)
+	a, b, err := load(path)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if a != nil || b == nil {
+		t.Fatalf("want bench, got (artifact=%v, bench=%v)", a != nil, b != nil)
+	}
+}
+
+// A truncated artifact must produce a clear corruption message, not a
+// bench-decoder fallback error.
+func TestLoadTruncatedArtifact(t *testing.T) {
+	path := writeTemp(t, "trunc.json", `{"version":1,"tool":"hyperhammer","seed":4,"metr`)
+	_, _, err := load(path)
+	if err == nil {
+		t.Fatal("load succeeded on a truncated artifact")
+	}
+	if !strings.Contains(err.Error(), "corrupt or truncated JSON") {
+		t.Errorf("error %q does not name the corruption", err)
+	}
+	if strings.Contains(err.Error(), "bench") {
+		t.Errorf("error %q blames the bench decoder for a damaged artifact", err)
+	}
+}
+
+func TestLoadEmptyFile(t *testing.T) {
+	path := writeTemp(t, "empty.json", "")
+	_, _, err := load(path)
+	if err == nil {
+		t.Fatal("load succeeded on an empty file")
+	}
+	if !strings.Contains(err.Error(), "corrupt or truncated JSON") {
+		t.Errorf("error %q does not name the corruption", err)
+	}
+}
+
+func TestLoadUnknownDocument(t *testing.T) {
+	path := writeTemp(t, "other.json", `{"hello":"world"}`)
+	_, _, err := load(path)
+	if err == nil {
+		t.Fatal("load succeeded on an unrelated JSON document")
+	}
+	if !strings.Contains(err.Error(), "neither a run artifact") {
+		t.Errorf("error %q does not explain the document kind", err)
+	}
+}
+
+func TestLoadFutureArtifactVersion(t *testing.T) {
+	path := writeTemp(t, "future.json", `{"version":99,"tool":"hyperhammer","metrics":{}}`)
+	_, _, err := load(path)
+	if err == nil {
+		t.Fatal("load accepted an artifact from the future")
+	}
+	if !strings.Contains(err.Error(), "newer than supported") {
+		t.Errorf("error %q does not report the version mismatch", err)
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, _, err := load(filepath.Join(t.TempDir(), "nope.json")); err == nil {
+		t.Fatal("load succeeded on a missing file")
+	}
+}

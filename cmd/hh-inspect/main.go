@@ -6,7 +6,9 @@
 //
 // The heatmap subcommand instead reads a run artifact (-artifact
 // output) and renders its embedded DRAM heatmap, layout census, and
-// watchpoint alert table — the same ASCII view as hh-top -once.
+// watchpoint alert table — the same ASCII view as hh-top -once. The
+// forensics subcommand renders the artifact's flip-provenance section
+// (the same summary hh-why prints).
 //
 // Usage:
 //
@@ -16,6 +18,7 @@
 //	hh-inspect -kinds -anomalies run.trace
 //	hh-inspect -timeline -width 100 run.trace
 //	hh-inspect heatmap run.json      # introspection sections of an artifact
+//	hh-inspect forensics run.json    # flip-provenance section of an artifact
 package main
 
 import (
@@ -39,6 +42,16 @@ func main() {
 			os.Exit(2)
 		}
 		if err := renderHeatmap(os.Args[2]); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "forensics" {
+		if len(os.Args) != 3 {
+			fmt.Fprintln(os.Stderr, "usage: hh-inspect forensics artifact.json")
+			os.Exit(2)
+		}
+		if err := renderForensics(os.Args[2]); err != nil {
 			fatal(err)
 		}
 		return
@@ -111,6 +124,23 @@ func renderHeatmap(path string) error {
 	if a.Alerts != nil {
 		fmt.Println(inspect.RenderAlerts(*a.Alerts))
 	}
+	return nil
+}
+
+// renderForensics prints an artifact's flip-provenance section — the
+// same campaign summary cmd/hh-why renders (see hh-why for per-attempt
+// lineage drill-down).
+func renderForensics(path string) error {
+	a, err := runartifact.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if a.Forensics == nil {
+		return fmt.Errorf("%s carries no forensics section (produce it with -obs or -artifact)", path)
+	}
+	fmt.Printf("%s: tool=%s seed=%d scale=%s simSeconds=%.1f\n\n",
+		path, a.Tool, a.Seed, a.Scale, a.SimSeconds)
+	a.Forensics.WriteSummary(os.Stdout)
 	return nil
 }
 

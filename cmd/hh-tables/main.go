@@ -99,6 +99,11 @@ func main() {
 	if *obsAddr != "" || *artifactPath != "" {
 		o.Inspect = hyperhammer.NewInspector(hyperhammer.InspectConfig{})
 	}
+	// Same for the forensics plane: every unit records flip provenance
+	// into a scoped recorder, absorbed in declaration order.
+	if *obsAddr != "" || *artifactPath != "" {
+		o.Forensics = hyperhammer.NewForensics(hyperhammer.ForensicsConfig{})
+	}
 	var profiler *hyperhammer.CostProfiler
 	if *artifactPath != "" {
 		// The profiler is NOT attached as a sink on the shared
@@ -135,6 +140,7 @@ func main() {
 		plane := hyperhammer.NewObs(o.Metrics, hyperhammer.ObsConfig{SampleEvery: *obsSample})
 		plane.AttachProfile(profiler)
 		plane.SetInspector(o.Inspect)
+		plane.SetForensics(o.Forensics)
 		o.Obs = plane
 		// Units run hosts with Obs unset, so nothing ever taps the
 		// shared recorder implicitly; tap it here so absorbed unit
@@ -165,6 +171,7 @@ func main() {
 		a.Metrics = o.Metrics.Snapshot()
 		a.SetProfile(profiler.Snapshot())
 		a.SetInspector(o.Inspect)
+		a.SetForensics(o.Forensics)
 		return a
 	}
 	if *artifactPath != "" {

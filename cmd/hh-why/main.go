@@ -1,0 +1,89 @@
+// Command hh-why answers "why did attempt N fail (or escape)?" from a
+// run artifact's flip-provenance section. Without flags it prints the
+// campaign-level view: every attempt's outcome with its synthesized
+// one-line cause, the per-campaign failure taxonomy, and the global
+// flip-verdict and frame-owner tables. With -attempt it drills into one
+// attempt's full causal lineage: the attack-ladder facts, then every
+// retained flip with the aggressor rows that drove it, the mitigation
+// (if any) that intercepted it, and — for landed flips — the physical
+// frame owner it corrupted, down to the EPT table page whose corrupted
+// EPTE redirects a VM's translation.
+//
+// Usage:
+//
+//	hyperhammer -short -artifact run.json
+//	hh-why run.json                      # every attempt: outcome + cause
+//	hh-why -attempt 33 run.json          # full lineage of attempt 33
+//	hh-why -unit "S1 campaign" -attempt 2 run.json
+//	hh-why -json run.json                # raw forensics snapshot
+//
+// Exit status: 0 on success, 1 on a missing/invalid artifact or an
+// unknown attempt, 2 on usage errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"hyperhammer/internal/forensics"
+	"hyperhammer/internal/runartifact"
+)
+
+func main() {
+	attempt := flag.Int("attempt", 0, "drill into this attempt's full flip lineage (1-based)")
+	unit := flag.String("unit", "", "scope -attempt to this plan unit's campaign (empty: first match)")
+	asJSON := flag.Bool("json", false, "emit the raw forensics snapshot as JSON")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: hh-why [-attempt N [-unit NAME]] [-json] artifact.json")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	a, err := runartifact.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	s := a.Forensics
+	if s == nil {
+		fatal(fmt.Errorf("%s carries no forensics section (produce it with a current build and -artifact)", flag.Arg(0)))
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(s); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	if *attempt > 0 {
+		c, att, ok := s.FindAttempt(*unit, *attempt)
+		if !ok {
+			if *unit != "" {
+				fatal(fmt.Errorf("no attempt %d in unit %q", *attempt, *unit))
+			}
+			fatal(fmt.Errorf("no attempt %d in any recorded campaign", *attempt))
+		}
+		if c.Unit != "" {
+			fmt.Printf("unit %s, ", c.Unit)
+		}
+		forensics.WriteAttempt(os.Stdout, c, att)
+		return
+	}
+
+	fmt.Printf("%s: tool=%s seed=%d scale=%s simSeconds=%.1f\n\n",
+		flag.Arg(0), a.Tool, a.Seed, a.Scale, a.SimSeconds)
+	s.WriteSummary(os.Stdout)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hh-why:", err)
+	os.Exit(1)
+}

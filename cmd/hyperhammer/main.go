@@ -130,6 +130,15 @@ func main() {
 		hostCfg.Inspect = inspector
 	}
 
+	// The forensics plane likewise rides along on observed or archived
+	// runs: /api/forensics and the artifact's forensics section (what
+	// hh-why explains) come from the same recorder.
+	var forensicsRec *hyperhammer.ForensicsRecorder
+	if *obsAddr != "" || *artifactPath != "" {
+		forensicsRec = hyperhammer.NewForensics(hyperhammer.ForensicsConfig{})
+		hostCfg.Forensics = forensicsRec
+	}
+
 	var profiler *hyperhammer.CostProfiler
 	if *artifactPath != "" {
 		profiler = hyperhammer.NewCostProfiler(reg)
@@ -145,6 +154,7 @@ func main() {
 		plane = hyperhammer.NewObs(reg, hyperhammer.ObsConfig{SampleEvery: *obsSample})
 		plane.AttachProfile(profiler) // nil profiler → /api/profile serves empty
 		plane.SetInspector(inspector)
+		plane.SetForensics(forensicsRec)
 		hostCfg.Obs = plane
 		var err error
 		if srv, err = plane.Serve(*obsAddr); err != nil {
@@ -209,6 +219,7 @@ func main() {
 		a.Metrics = reg.Snapshot()
 		a.SetProfile(profiler.Snapshot())
 		a.SetInspector(inspector)
+		a.SetForensics(forensicsRec)
 		if res := campaignRes; res != nil {
 			a.Outcome["attempts"] = float64(len(res.Attempts))
 			a.Outcome["successes"] = float64(res.Successes)

@@ -311,6 +311,7 @@ func thpRun(o Options, thp bool) (thpOutcome, error) {
 		Trace:          o.Trace,
 		Metrics:        o.Metrics,
 		Inspect:        o.Inspect,
+		Forensics:      o.Forensics,
 	}
 	h, err := kvm.NewHost(cfg)
 	if err != nil {

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"hyperhammer/internal/dram"
+	"hyperhammer/internal/forensics"
 	"hyperhammer/internal/inspect"
 	"hyperhammer/internal/kvm"
 	"hyperhammer/internal/memdef"
@@ -63,6 +64,11 @@ type Options struct {
 	// declaration order, so its snapshots are byte-identical at every
 	// Parallel setting.
 	Inspect *inspect.Inspector
+	// Forensics, when non-nil, is the flip-provenance plane every booted
+	// host and campaign feeds: per-attempt flip lineage, verdicts, frame
+	// owners, and outcome taxonomies. Units run against scoped recorders
+	// absorbed in declaration order, like Inspect.
+	Forensics *forensics.Recorder
 }
 
 // DefaultOptions returns the full-scale deterministic defaults.
@@ -211,6 +217,7 @@ func (o Options) newHost(sys System) (*kvm.Host, error) {
 		Metrics:        o.Metrics,
 		Obs:            o.Obs,
 		Inspect:        o.Inspect,
+		Forensics:      o.Forensics,
 	}
 	h, err := kvm.NewHost(cfg)
 	if err != nil {

@@ -182,6 +182,7 @@ func mitigationRun(o Options, guarded bool) (mitigationOutcome, error) {
 		Trace:          o.Trace,
 		Metrics:        o.Metrics,
 		Inspect:        o.Inspect,
+		Forensics:      o.Forensics,
 	}
 	h, err := kvm.NewHost(cfg)
 	if err != nil {
@@ -343,5 +344,6 @@ func (o Options) newHostAt(sc scale, sys System) (*kvm.Host, error) {
 		Trace:          o.Trace,
 		Metrics:        o.Metrics,
 		Inspect:        o.Inspect,
+		Forensics:      o.Forensics,
 	})
 }

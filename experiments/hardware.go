@@ -96,6 +96,7 @@ func trrRun(o Options, variant string, trr *dram.TRRConfig) ([]TRRRow, error) {
 		Trace:          o.Trace,
 		Metrics:        o.Metrics,
 		Inspect:        o.Inspect,
+		Forensics:      o.Forensics,
 	})
 	if err != nil {
 		return nil, err
@@ -216,6 +217,7 @@ func eccRun(o Options, ecc bool) (eccOutcome, error) {
 		Trace:          o.Trace,
 		Metrics:        o.Metrics,
 		Inspect:        o.Inspect,
+		Forensics:      o.Forensics,
 	})
 	if err != nil {
 		return eccOutcome{}, err
@@ -320,6 +322,7 @@ func multihitRun(o Options, mitigated bool) (multihitOutcome, error) {
 		Trace:              o.Trace,
 		Metrics:            o.Metrics,
 		Inspect:            o.Inspect,
+		Forensics:          o.Forensics,
 	})
 	if err != nil {
 		return multihitOutcome{}, err

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"hyperhammer/internal/forensics"
 	"hyperhammer/internal/inspect"
 	"hyperhammer/internal/metrics"
 	"hyperhammer/internal/profile"
@@ -65,6 +66,7 @@ type unitScope struct {
 	reg  *metrics.Registry
 	prof *profile.Builder
 	ins  *inspect.Inspector
+	fr   *forensics.Recorder
 }
 
 // unitResult pairs a unit's value with its scope for the merge step.
@@ -110,7 +112,7 @@ func (p *Plan) add(name string, run func(Options) (any, error), store func(any))
 			uo := parent
 			var scope *unitScope
 			if parent.Trace != nil || parent.Metrics != nil || parent.Obs != nil ||
-				parent.Inspect != nil || profiler != nil {
+				parent.Inspect != nil || parent.Forensics != nil || profiler != nil {
 				scope = &unitScope{}
 				if parent.Trace != nil || profiler != nil || parent.Inspect != nil {
 					scope.tr = trace.NewCapture()
@@ -123,10 +125,12 @@ func (p *Plan) add(name string, run func(Options) (any, error), store func(any))
 					scope.tr.SetNamedSink("profile", scope.prof.Consume)
 				}
 				scope.ins = parent.Inspect.Scoped()
+				scope.fr = parent.Forensics.Scoped()
 				uo.Trace = scope.tr
 				uo.Metrics = scope.reg
 				uo.Obs = nil
 				uo.Inspect = scope.ins
+				uo.Forensics = scope.fr
 			}
 			v, err := run(uo)
 			return unitResult{v: v, scope: scope}, err
@@ -180,6 +184,7 @@ func (p *Plan) mergeScope(name string, s *unitScope) {
 		p.o.Metrics.Absorb(s.reg.Snapshot())
 	}
 	p.o.Inspect.Absorb(s.ins, name)
+	p.o.Forensics.Absorb(s.fr, name)
 	p.o.Obs.SampleUnit(name)
 }
 

@@ -39,6 +39,7 @@ import (
 	"hyperhammer/internal/buddy"
 	"hyperhammer/internal/dram"
 	"hyperhammer/internal/dramdig"
+	"hyperhammer/internal/forensics"
 	"hyperhammer/internal/guest"
 	"hyperhammer/internal/hammer"
 	"hyperhammer/internal/hostload"
@@ -204,6 +205,25 @@ func NewInspector(cfg InspectConfig) *Inspector { return inspect.New(cfg) }
 // pressure vs the flip threshold, TRR neutralizations, split onset,
 // applied flips, machine checks, obs bus drops).
 func DefaultWatchpointRules() []WatchpointRule { return inspect.DefaultRules() }
+
+// ForensicsRecorder is the flip-provenance plane: per-attempt causal
+// flip lineage (aggressors → verdict → owning frame), campaign outcome
+// taxonomies, and one-line cause synthesis. Install one via
+// HostConfig.Forensics (every host boot binds its clock and installs
+// the DRAM flip sink), serve it live with ObsPlane.SetForensics, and
+// embed its snapshot in a RunArtifact with RunArtifact.SetForensics
+// for cmd/hh-why to read offline.
+type ForensicsRecorder = forensics.Recorder
+
+// ForensicsConfig tunes a ForensicsRecorder (per-attempt flip detail
+// bound); the zero value selects usable defaults.
+type ForensicsConfig = forensics.Config
+
+// ForensicsSnapshot is one serialized view of a ForensicsRecorder.
+type ForensicsSnapshot = forensics.Snapshot
+
+// NewForensics creates a flip-provenance recorder.
+func NewForensics(cfg ForensicsConfig) *ForensicsRecorder { return forensics.New(cfg) }
 
 // CostProfiler folds the span trace into a per-phase simulated-time
 // cost profile (see internal/profile). Attach one to a trace recorder

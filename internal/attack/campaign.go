@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"hyperhammer/internal/forensics"
 	"hyperhammer/internal/guest"
 	"hyperhammer/internal/kvm"
 	"hyperhammer/internal/memdef"
@@ -37,7 +38,10 @@ type CampaignConfig struct {
 
 // AttemptStats records one attack attempt.
 type AttemptStats struct {
-	Index      int
+	Index int
+	// Outcome classifies how the attempt ended, using the
+	// forensics.Outcome* taxonomy (escaped, steer-miss, ...).
+	Outcome    string
 	UsableBits int
 	Released   int
 	Splits     int
@@ -117,6 +121,11 @@ func RunCampaign(h *kvm.Host, ccfg CampaignConfig) (*CampaignResult, error) {
 	if ccfg.Attack.Metrics == nil {
 		ccfg.Attack.Metrics = h.Config().Metrics
 	}
+	if ccfg.Attack.Forensics == nil {
+		ccfg.Attack.Forensics = h.Config().Forensics
+	}
+	ccfg.Attack.Forensics.BeginCampaign(ccfg.MaxAttempts)
+	defer ccfg.Attack.Forensics.EndCampaign()
 	res := &CampaignResult{}
 	span := ccfg.Attack.startSpan("attack.campaign", "maxAttempts", ccfg.MaxAttempts)
 	defer func() {
@@ -208,6 +217,7 @@ func RunCampaign(h *kvm.Host, ccfg CampaignConfig) (*CampaignResult, error) {
 // runAttempt performs one steer-and-exploit attempt on a fresh VM.
 func runAttempt(h *kvm.Host, ccfg CampaignConfig, bits []physicalBit, index int) (stats AttemptStats, err error) {
 	stats = AttemptStats{Index: index}
+	ccfg.Attack.Forensics.BeginAttempt(index)
 	span := ccfg.Attack.startSpan("attack.attempt", "index", index)
 	defer func() { span.End("success", stats.Success) }()
 	sw := simtime.NewStopwatch(h.Clock)
@@ -221,6 +231,25 @@ func runAttempt(h *kvm.Host, ccfg CampaignConfig, bits []physicalBit, index int)
 		vm.Destroy()
 		h.Clock.Advance(simtime.VMReboot)
 		ccfg.Attack.observePhase("reboot", simtime.VMReboot)
+	}()
+	// Registered after the destroy defer so it runs before the
+	// respawn: the attempt's forensic end time is when its ladder
+	// resolved, not when the replacement VM finished booting. stats is
+	// a named return, so the closure sees every field's final value.
+	defer func() {
+		if stats.Outcome == "" {
+			stats.Outcome = forensics.OutcomeError
+		}
+		ccfg.Attack.Forensics.EndAttempt(forensics.AttemptFacts{
+			Index:          index,
+			Outcome:        stats.Outcome,
+			UsableBits:     stats.UsableBits,
+			Released:       stats.Released,
+			Splits:         stats.Splits,
+			MappingChanges: stats.Changes,
+			CandidatePages: stats.Candidates,
+			ConfirmedPages: stats.Confirmed,
+		})
 	}()
 	gos := guest.Boot(vm)
 
@@ -279,11 +308,13 @@ func runAttempt(h *kvm.Host, ccfg CampaignConfig, bits []physicalBit, index int)
 	scratch.victims = victims
 	stats.UsableBits = len(victims)
 	if len(victims) == 0 {
+		stats.Outcome = forensics.OutcomeNoUsableBit
 		return stats, nil // unlucky backing; respawn
 	}
 
 	steer, err := PageSteer(gos, acfg, buf, victims)
 	if err != nil {
+		stats.Outcome = forensics.OutcomeSteerMiss
 		return stats, nil // steering found nothing releasable; respawn
 	}
 	stats.Released = len(steer.Released)
@@ -299,14 +330,24 @@ func runAttempt(h *kvm.Host, ccfg CampaignConfig, bits []physicalBit, index int)
 	stats.Candidates = expl.CandidateEPTPages
 	stats.Confirmed = expl.ConfirmedEPTPages
 	if !expl.Success() {
+		switch {
+		case stats.Changes == 0:
+			stats.Outcome = forensics.OutcomeNoMappingChange
+		case stats.Candidates == 0:
+			stats.Outcome = forensics.OutcomeNoCandidateEPT
+		default:
+			stats.Outcome = forensics.OutcomeNoConfirmedEPT
+		}
 		return stats, nil
 	}
 	if ccfg.VerifyHPA != 0 {
 		got, err := expl.Escape.ReadHost(ccfg.VerifyHPA)
 		if err != nil || got != ccfg.VerifyValue {
+			stats.Outcome = forensics.OutcomeVerifyFailed
 			return stats, nil // claimed escape failed verification
 		}
 	}
 	stats.Success = true
+	stats.Outcome = forensics.OutcomeEscaped
 	return stats, nil
 }

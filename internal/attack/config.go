@@ -24,6 +24,7 @@ import (
 	"math/bits"
 	"time"
 
+	"hyperhammer/internal/forensics"
 	"hyperhammer/internal/memdef"
 	"hyperhammer/internal/metrics"
 	"hyperhammer/internal/trace"
@@ -100,6 +101,10 @@ type Config struct {
 	// attack_phase_seconds phase-timing histogram. RunCampaign defaults
 	// it to the host's registry.
 	Metrics *metrics.Registry
+	// Forensics, when non-nil, receives campaign/attempt lifecycle and
+	// per-attempt outcome facts for the flip-provenance plane.
+	// RunCampaign defaults it to the host's recorder.
+	Forensics *forensics.Recorder
 }
 
 // PhaseBuckets is the attack_phase_seconds histogram layout: the

@@ -134,6 +134,10 @@ type Module struct {
 	// from every hammer operation (the introspection heatmap feed).
 	sink ActivationSink
 
+	// flip, when non-nil, receives per-flip verdict provenance (the
+	// forensics-plane feed).
+	flip FlipSink
+
 	met moduleMetrics
 }
 
@@ -150,6 +154,62 @@ type ActivationSink interface {
 // activation sink.
 func (m *Module) SetActivationSink(s ActivationSink) { m.sink = s }
 
+// Dram-stage flip verdicts reported through the FlipSink. The host
+// stage (kvm) refines "fired" candidates into their final verdicts
+// (landed, direction-filtered, ECC outcomes).
+const (
+	// FlipFired marks a candidate flip the fault model emitted.
+	FlipFired = "fired"
+	// FlipFlakyNoFire marks an unstable cell that was pushed past its
+	// threshold but did not fire this operation.
+	FlipFlakyNoFire = "flaky-no-fire"
+	// FlipTRRRefreshed marks a cell whose pre-TRR disturbance reached
+	// its threshold but whose aggressors the TRR tracker neutralized.
+	FlipTRRRefreshed = "trr-refreshed"
+)
+
+// FlipOpInfo describes one hammer operation to the flip sink: the
+// active aggressor set (post-dedup, post-bank-filter), the rows the
+// TRR tracker neutralized, and the requested vs refresh-window-clipped
+// per-aggressor activation counts.
+type FlipOpInfo struct {
+	Aggressors  []RowRef
+	Neutralized []RowRef
+	// Rounds is the requested activations per aggressor;
+	// WindowRounds is the count after refresh-window clipping.
+	Rounds       int
+	WindowRounds int
+}
+
+// FlipEvent is one per-cell verdict from the fault model. For
+// trr-refreshed events Disturbance is the pre-TRR disturbance that
+// would have fired the cell; otherwise it is the effective (post-TRR,
+// window-clipped) disturbance.
+type FlipEvent struct {
+	Addr        memdef.HPA
+	Bit         uint
+	Direction   FlipDirection
+	Row         RowRef
+	Disturbance float64
+	Threshold   float64
+	Verdict     string
+}
+
+// FlipSink receives the flip-provenance stream from hammer operations
+// (the forensics-plane feed, alongside ActivationSink's heatmap feed).
+// Implementations must be cheap and must not feed back into simulated
+// state; nil disables the stream at zero cost.
+type FlipSink interface {
+	// BeginHammerOp opens one hammer operation; the flip events that
+	// follow belong to it.
+	BeginHammerOp(info FlipOpInfo)
+	// RecordFlipEvent reports one per-cell verdict.
+	RecordFlipEvent(ev FlipEvent)
+}
+
+// SetFlipSink installs (or, with nil, removes) the module's flip sink.
+func (m *Module) SetFlipSink(s FlipSink) { m.flip = s }
+
 // moduleMetrics caches the module's instrument handles. All handles
 // are nil (no-op) until SetMetrics.
 type moduleMetrics struct {
@@ -158,7 +218,14 @@ type moduleMetrics struct {
 	trrNeutralized *metrics.Counter
 	windowClips    *metrics.Counter
 	candFlips      *metrics.Counter
+	trrRefreshes   *metrics.Counter
+	trrVetoed      *metrics.Counter
 }
+
+// VetoedFlipsHelp is the shared help text of the cross-mitigation
+// mitigation_vetoed_flips_total family (the kvm layer registers the
+// ECC series of the same family).
+const VetoedFlipsHelp = "Would-be bit flips vetoed by a hardware mitigation before software observed them."
 
 // SetMetrics registers the module's instruments with reg. A nil
 // registry leaves the module uninstrumented at zero cost.
@@ -169,6 +236,8 @@ func (m *Module) SetMetrics(reg *metrics.Registry) {
 		trrNeutralized: reg.Counter("dram_trr_neutralized_total", "Aggressor rows neutralized by the TRR tracker."),
 		windowClips:    reg.Counter("dram_refresh_window_clips_total", "Hammer ops whose rounds were clipped to the refresh-window activation budget."),
 		candFlips:      reg.Counter("dram_candidate_flips_total", "Candidate bit flips emitted by the fault model (before direction filtering)."),
+		trrRefreshes:   reg.Counter("mitigation_trr_refreshes_total", "Preventive neighbour refreshes issued by the TRR tracker (one per neutralized aggressor row)."),
+		trrVetoed:      reg.Counter("mitigation_vetoed_flips_total", VetoedFlipsHelp, "mitigation", "trr"),
 	}
 }
 
@@ -343,10 +412,59 @@ func (m *Module) Hammer(op HammerOp) []CandidateFlip {
 	// (Section 6 mitigation discussion); only untracked ones disturb
 	// their neighbours.
 	m.ops++
+	var preTRR []RowRef
+	if m.flip != nil {
+		// The flip sink wants the pre-TRR active set for provenance;
+		// copy it before the filter reuses backing storage.
+		preTRR = append(preTRR, active...)
+	}
 	tracked := len(active)
 	active = m.cfg.TRR.trrFilter(active, m.ops)
-	m.met.trrNeutralized.Add(uint64(tracked - len(active)))
+	neutCount := tracked - len(active)
+	m.met.trrNeutralized.Add(uint64(neutCount))
+	m.met.trrRefreshes.Add(uint64(neutCount))
+	// neutralized is computed only when a consumer needs it: the flip
+	// sink's provenance stream, or the mitigation-veto audit.
+	var neutralized []RowRef
+	if neutCount > 0 && (m.flip != nil || m.met.trrVetoed != nil) {
+		if preTRR == nil {
+			// Metrics-only path: trrFilter never reorders survivors,
+			// so the difference can be taken against the surviving
+			// set without a pre-copy — but active aliases the same
+			// backing as the pre-set only when TRR is off, and TRR is
+			// on here, so trrFilter returned a fresh slice. Recompute
+			// the pre-set from op.Aggressors' unique active rows.
+			preTRR = make([]RowRef, 0, tracked)
+			for _, ag := range unique {
+				if perBank[ag.Bank] >= 2 {
+					preTRR = append(preTRR, ag)
+				}
+			}
+		}
+		escaped := make(map[RowRef]bool, len(active))
+		for _, ag := range active {
+			escaped[ag] = true
+		}
+		for _, ag := range preTRR {
+			if !escaped[ag] {
+				neutralized = append(neutralized, ag)
+			}
+		}
+	}
 	if len(active) == 0 {
+		// Fully neutralized: no disturbance accumulates, but the
+		// provenance stream and the veto audit still see the op.
+		rounds := op.Rounds
+		if cap := m.windowActivations(); rounds > cap {
+			rounds = cap
+		}
+		if m.flip != nil {
+			m.flip.BeginHammerOp(FlipOpInfo{
+				Aggressors: preTRR, Neutralized: neutralized,
+				Rounds: op.Rounds, WindowRounds: rounds,
+			})
+		}
+		m.auditTRRRefreshed(neutralized, nil, rounds, op.Aggressors)
 		return nil
 	}
 
@@ -356,6 +474,16 @@ func (m *Module) Hammer(op HammerOp) []CandidateFlip {
 	if cap := m.windowActivations(); rounds > cap {
 		rounds = cap
 		m.met.windowClips.Inc()
+	}
+	if m.flip != nil {
+		aggs := preTRR
+		if aggs == nil {
+			aggs = active
+		}
+		m.flip.BeginHammerOp(FlipOpInfo{
+			Aggressors: aggs, Neutralized: neutralized,
+			Rounds: op.Rounds, WindowRounds: rounds,
+		})
 	}
 	if m.sink != nil {
 		// Post-TRR, post-clip: the sink sees the activations that
@@ -385,6 +513,11 @@ func (m *Module) Hammer(op HammerOp) []CandidateFlip {
 	for _, ag := range op.Aggressors {
 		delete(dist, rowKey{ag.Bank, ag.Row})
 	}
+
+	// Audit what TRR took away before evaluating what leaked through:
+	// cells whose pre-TRR disturbance reached threshold but whose
+	// post-TRR disturbance does not are mitigation-vetoed flips.
+	m.auditTRRRefreshed(neutralized, dist, rounds, op.Aggressors)
 
 	rng := op.rng
 	if rng == nil {
@@ -418,6 +551,14 @@ func (m *Module) Hammer(op HammerOp) []CandidateFlip {
 				continue
 			}
 			if !c.Stable && rng.Float64() >= c.FlakyP {
+				if m.flip != nil {
+					addr, bit := m.AddrOfCell(v.bank, v.row, c.BitIndex)
+					m.flip.RecordFlipEvent(FlipEvent{
+						Addr: addr, Bit: bit, Direction: c.Direction,
+						Row: RowRef{v.bank, v.row}, Disturbance: disturbance,
+						Threshold: c.Threshold, Verdict: FlipFlakyNoFire,
+					})
+				}
 				continue
 			}
 			addr, bit := m.AddrOfCell(v.bank, v.row, c.BitIndex)
@@ -427,10 +568,85 @@ func (m *Module) Hammer(op HammerOp) []CandidateFlip {
 				Direction: c.Direction,
 				Row:       RowRef{v.bank, v.row},
 			})
+			if m.flip != nil {
+				m.flip.RecordFlipEvent(FlipEvent{
+					Addr: addr, Bit: bit, Direction: c.Direction,
+					Row: RowRef{v.bank, v.row}, Disturbance: disturbance,
+					Threshold: c.Threshold, Verdict: FlipFired,
+				})
+			}
 		}
 	}
 	m.met.candFlips.Add(uint64(len(flips)))
 	return flips
+}
+
+// auditTRRRefreshed finds the flips the TRR tracker vetoed in one
+// operation: vulnerable cells whose disturbance would have reached
+// threshold with the neutralized aggressors' contributions restored,
+// but does not without them. It counts them in
+// mitigation_vetoed_flips_total{mitigation="trr"} and streams
+// trr-refreshed events to the flip sink. The audit consumes no RNG
+// draws (flaky cells are reported as vetoed regardless of whether they
+// would have fired: the mitigation removed the opportunity) and runs
+// only when TRR neutralized something and a consumer is attached, so
+// the default presets never pay for it.
+func (m *Module) auditTRRRefreshed(neutralized []RowRef, dist map[rowKey]float64, rounds int, opAggs []RowRef) {
+	if len(neutralized) == 0 || (m.flip == nil && m.met.trrVetoed == nil) {
+		return
+	}
+	// Disturbance the neutralized aggressors would have contributed.
+	neutDist := make(map[rowKey]float64)
+	for _, ag := range neutralized {
+		for _, d := range []int{-2, -1, 1, 2} {
+			v := ag.Row + d
+			if v < 0 || v >= m.Geo.Rows() {
+				continue
+			}
+			w := m.cfg.NeighborWeight1
+			if d == 2 || d == -2 {
+				w = m.cfg.NeighborWeight2
+			}
+			neutDist[rowKey{ag.Bank, v}] += w * float64(rounds)
+		}
+	}
+	for _, ag := range opAggs {
+		delete(neutDist, rowKey{ag.Bank, ag.Row})
+	}
+	victims := make([]rowKey, 0, len(neutDist))
+	for k := range neutDist {
+		victims = append(victims, k)
+	}
+	sort.Slice(victims, func(i, j int) bool {
+		if victims[i].bank != victims[j].bank {
+			return victims[i].bank < victims[j].bank
+		}
+		return victims[i].row < victims[j].row
+	})
+	vetoed := uint64(0)
+	for _, v := range victims {
+		pre := neutDist[v]
+		post := 0.0
+		if dist != nil {
+			post = dist[v]
+		}
+		pre += post
+		for _, c := range m.VulnerableCells(v.bank, v.row) {
+			if pre < c.Threshold || post >= c.Threshold {
+				continue
+			}
+			vetoed++
+			if m.flip != nil {
+				addr, bit := m.AddrOfCell(v.bank, v.row, c.BitIndex)
+				m.flip.RecordFlipEvent(FlipEvent{
+					Addr: addr, Bit: bit, Direction: c.Direction,
+					Row: RowRef{v.bank, v.row}, Disturbance: pre,
+					Threshold: c.Threshold, Verdict: FlipTRRRefreshed,
+				})
+			}
+		}
+	}
+	m.met.trrVetoed.Add(vetoed)
 }
 
 // Activations returns the total DRAM activations an op performs, for

@@ -1,0 +1,238 @@
+package dram
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+
+	"hyperhammer/internal/metrics"
+	"hyperhammer/internal/report"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// recordingSink captures the flip-provenance stream for assertions.
+type recordingSink struct {
+	ops    []FlipOpInfo
+	events []FlipEvent
+}
+
+func (s *recordingSink) BeginHammerOp(info FlipOpInfo) { s.ops = append(s.ops, info) }
+func (s *recordingSink) RecordFlipEvent(ev FlipEvent)  { s.events = append(s.events, ev) }
+
+func (s *recordingSink) byVerdict(v string) []FlipEvent {
+	var out []FlipEvent
+	for _, ev := range s.events {
+		if ev.Verdict == v {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// TestFlipSinkFiredMatchesCandidates checks that every candidate flip
+// Hammer returns is mirrored by a fired event carrying the op's
+// aggressor provenance and the disturbance that fired the cell.
+func TestFlipSinkFiredMatchesCandidates(t *testing.T) {
+	m := testModule(7)
+	sink := &recordingSink{}
+	m.SetFlipSink(sink)
+	victim, _ := findVulnerableRow(t, m, true)
+	op := HammerOp{
+		Aggressors: []RowRef{{victim.Bank, victim.Row + 1}, {victim.Bank, victim.Row + 2}},
+		Rounds:     500_000,
+	}
+	flips := m.Hammer(op)
+	if len(flips) == 0 {
+		t.Fatal("no candidate flips")
+	}
+	if len(sink.ops) != 1 {
+		t.Fatalf("BeginHammerOp calls = %d, want 1", len(sink.ops))
+	}
+	info := sink.ops[0]
+	if !reflect.DeepEqual(info.Aggressors, op.Aggressors) {
+		t.Errorf("op aggressors = %v, want %v", info.Aggressors, op.Aggressors)
+	}
+	if info.Rounds != op.Rounds || info.WindowRounds != op.Rounds {
+		t.Errorf("op rounds = %d/%d, want %d/%d", info.Rounds, info.WindowRounds, op.Rounds, op.Rounds)
+	}
+	fired := sink.byVerdict(FlipFired)
+	if len(fired) != len(flips) {
+		t.Fatalf("fired events = %d, candidate flips = %d", len(fired), len(flips))
+	}
+	for i, f := range flips {
+		ev := fired[i]
+		if ev.Addr != f.Addr || ev.Bit != f.Bit || ev.Direction != f.Direction || ev.Row != f.Row {
+			t.Errorf("fired event %d = %+v does not match candidate %+v", i, ev, f)
+		}
+		if ev.Disturbance < ev.Threshold {
+			t.Errorf("fired event %d below threshold: %.0f < %.0f", i, ev.Disturbance, ev.Threshold)
+		}
+	}
+}
+
+// TestFlipSinkFlakyNoFire checks that unstable cells pushed past
+// threshold emit flaky-no-fire events on the ops where they hold.
+// Each op salts its RNG with the op counter, so with FlakyP=0.35 a
+// short run of repeated ops sees both outcomes.
+func TestFlipSinkFlakyNoFire(t *testing.T) {
+	m := testModule(7)
+	sink := &recordingSink{}
+	m.SetFlipSink(sink)
+	victim, cell := findVulnerableRow(t, m, false)
+	op := HammerOp{
+		Aggressors: []RowRef{{victim.Bank, victim.Row + 1}, {victim.Bank, victim.Row + 2}},
+		Rounds:     500_000,
+	}
+	for i := 0; i < 20; i++ {
+		m.Hammer(op)
+	}
+	addr, bit := m.AddrOfCell(victim.Bank, victim.Row, cell.BitIndex)
+	noFire := 0
+	for _, ev := range sink.byVerdict(FlipFlakyNoFire) {
+		if ev.Addr == addr && ev.Bit == bit {
+			noFire++
+		}
+	}
+	if noFire == 0 {
+		t.Error("flaky cell never reported flaky-no-fire across 20 ops")
+	}
+	if noFire == 20 {
+		t.Error("flaky cell never fired across 20 ops (FlakyP=0.35)")
+	}
+}
+
+// TestFlipSinkTRRRefreshed drives a 3-sided pattern into a 2-slot TRR
+// tracker and checks the mitigation-veto audit: cells that would have
+// fired without the tracker emit trr-refreshed events with the pre-TRR
+// disturbance, and the mitigation counters advance.
+func TestFlipSinkTRRRefreshed(t *testing.T) {
+	cfg := S1FaultModel(7)
+	cfg.TRR = &TRRConfig{Slots: 2, Seed: 7}
+	m := NewModule(CoreI310100(), cfg)
+	reg := metrics.New()
+	m.SetMetrics(reg)
+	sink := &recordingSink{}
+	m.SetFlipSink(sink)
+
+	victim, _ := findVulnerableRow(t, m, true)
+	op := HammerOp{
+		// Three same-bank aggressors oversubscribe the 2-slot tracker:
+		// exactly one escapes per op, the other two are neutralized.
+		Aggressors: []RowRef{
+			{victim.Bank, victim.Row + 1},
+			{victim.Bank, victim.Row + 2},
+			{victim.Bank, victim.Row - 2},
+		},
+		Rounds: 500_000,
+	}
+	for i := 0; i < 8; i++ {
+		m.Hammer(op)
+	}
+
+	refreshed := sink.byVerdict(FlipTRRRefreshed)
+	if len(refreshed) == 0 {
+		t.Fatal("no trr-refreshed events across 8 oversubscribed ops")
+	}
+	for _, ev := range refreshed {
+		if ev.Disturbance < ev.Threshold {
+			t.Errorf("vetoed event pre-TRR disturbance %.0f below threshold %.0f", ev.Disturbance, ev.Threshold)
+		}
+	}
+	for _, info := range sink.ops {
+		if len(info.Aggressors) != 3 {
+			t.Errorf("op reported %d aggressors, want the pre-TRR set of 3", len(info.Aggressors))
+		}
+		if len(info.Neutralized) != 2 {
+			t.Errorf("op reported %d neutralized rows, want 2", len(info.Neutralized))
+		}
+	}
+
+	counters := map[string]float64{}
+	for _, row := range reg.Snapshot().Rows() {
+		if strings.HasPrefix(row[0], "mitigation_") {
+			v, err := strconv.ParseFloat(row[3], 64)
+			if err != nil {
+				t.Fatalf("unparseable counter value %q: %v", row[3], err)
+			}
+			counters[row[0]+"{"+row[1]+"}"] = v
+		}
+	}
+	if got := counters["mitigation_trr_refreshes_total{-}"]; got != 16 {
+		t.Errorf("mitigation_trr_refreshes_total = %v, want 16 (2 rows x 8 ops)", got)
+	}
+	if got := counters["mitigation_vetoed_flips_total{mitigation=trr}"]; got != float64(len(refreshed)) {
+		t.Errorf("mitigation_vetoed_flips_total{mitigation=trr} = %v, want %d", got, len(refreshed))
+	}
+}
+
+// TestMitigationMetricsGolden pins the rendered metrics table of a
+// deterministic TRR-mitigated hammer sequence — the operator-facing
+// contract for the mitigation_* counter family. Regenerate with
+// `go test ./internal/dram -run TestMitigationMetricsGolden -update`.
+func TestMitigationMetricsGolden(t *testing.T) {
+	cfg := S1FaultModel(7)
+	cfg.TRR = &TRRConfig{Slots: 2, Seed: 7}
+	m := NewModule(CoreI310100(), cfg)
+	reg := metrics.New()
+	m.SetMetrics(reg)
+
+	victim, _ := findVulnerableRow(t, m, true)
+	op := HammerOp{
+		Aggressors: []RowRef{
+			{victim.Bank, victim.Row + 1},
+			{victim.Bank, victim.Row + 2},
+			{victim.Bank, victim.Row - 2},
+		},
+		Rounds: 500_000,
+	}
+	for i := 0; i < 8; i++ {
+		m.Hammer(op)
+	}
+
+	got := report.MetricsTable(reg.Snapshot()).String()
+	golden := filepath.Join("testdata", "mitigation_metrics.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if got != string(want) {
+		t.Errorf("mitigation metrics drifted from golden file:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestFlipSinkZeroPerturbation is the observation-never-perturbs
+// contract at the dram layer: an identical op sequence produces
+// byte-identical candidate flips with and without a sink attached.
+func TestFlipSinkZeroPerturbation(t *testing.T) {
+	run := func(sink FlipSink) [][]CandidateFlip {
+		m := testModule(11)
+		m.SetFlipSink(sink)
+		victim, _ := findVulnerableRow(t, m, false)
+		var out [][]CandidateFlip
+		for i := 0; i < 10; i++ {
+			out = append(out, m.Hammer(HammerOp{
+				Aggressors: []RowRef{{victim.Bank, victim.Row + 1}, {victim.Bank, victim.Row + 2}},
+				Rounds:     500_000,
+			}))
+		}
+		return out
+	}
+	bare := run(nil)
+	observed := run(&recordingSink{})
+	if !reflect.DeepEqual(bare, observed) {
+		t.Error("attaching a flip sink changed Hammer results")
+	}
+}

@@ -1,0 +1,117 @@
+package forensics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hyperhammer/internal/dram"
+)
+
+// causeFor synthesizes the one-line explanation of an attempt's
+// outcome from its ladder facts and flip verdict counts. The goal is a
+// sentence an operator reads and knows what to change: which rung of
+// the attack ladder broke, and which mechanism broke it.
+func causeFor(att *attemptState, f AttemptFacts) string {
+	switch f.Outcome {
+	case OutcomeEscaped:
+		return fmt.Sprintf(
+			"flip landed in a live EPT table page and redirected an EPTE: %d candidate page(s), %d confirmed, host-secret read verified",
+			f.CandidatePages, f.ConfirmedPages)
+	case OutcomeVerifyFailed:
+		return fmt.Sprintf(
+			"%d EPT page(s) confirmed but the escape handle failed the host-secret verification read",
+			f.ConfirmedPages)
+	case OutcomeNoConfirmedEPT:
+		return fmt.Sprintf(
+			"%d candidate EPT page(s) passed the format scan but none survived modify-and-rescan confirmation",
+			f.CandidatePages)
+	case OutcomeNoCandidateEPT:
+		return fmt.Sprintf(
+			"%d mapping change(s) detected but no stolen page passed the EPTE format scan",
+			f.MappingChanges)
+	case OutcomeNoMappingChange:
+		return noMappingChangeCause(att)
+	case OutcomeSteerMiss:
+		return "page steering released no vulnerable hugepage (no victim satisfied the release constraints)"
+	case OutcomeNoUsableBit:
+		return "none of the profiled bits relocated into this VM's fresh backing (unlucky frame reuse)"
+	case OutcomeError:
+		return "attempt aborted by an error before completing the ladder"
+	}
+	return ""
+}
+
+// verdictPhrase renders a flip verdict as the mechanism that caused
+// it, for cause lines.
+func verdictPhrase(v string) string {
+	switch v {
+	case VerdictDirectionFiltered:
+		return "direction-filtered (the EPTE bit already held the flip's target value)"
+	case dram.FlipTRRRefreshed:
+		return "refreshed away by the TRR tracker before reaching threshold"
+	case dram.FlipFlakyNoFire:
+		return "in flaky cells that did not fire this time"
+	case VerdictECCCorrected:
+		return "scrubbed by ECC before software observed them"
+	case VerdictECCUncorrectable:
+		return "in double-bit words that machine-checked the host"
+	case dram.FlipFired:
+		return "fired but never resolved by the host stage"
+	}
+	return v
+}
+
+// noMappingChangeCause explains why hammering moved nothing: either no
+// flip landed (name the dominant veto mechanism) or flips landed in
+// frames that serve no translation.
+func noMappingChangeCause(att *attemptState) string {
+	if att == nil {
+		return "hammering produced no mapping change"
+	}
+	landed := att.verdicts[VerdictLanded]
+	if landed == 0 {
+		total := uint64(0)
+		for _, n := range att.verdicts {
+			total += n
+		}
+		if total == 0 {
+			return "hammering produced no candidate flips (disturbance stayed below every cell threshold)"
+		}
+		// Name the blockers largest-first; ties break alphabetically
+		// for determinism.
+		type kv struct {
+			k string
+			n uint64
+		}
+		var blockers []kv
+		for k, n := range att.verdicts {
+			if k != VerdictLanded && n > 0 {
+				blockers = append(blockers, kv{k, n})
+			}
+		}
+		sort.Slice(blockers, func(i, j int) bool {
+			if blockers[i].n != blockers[j].n {
+				return blockers[i].n > blockers[j].n
+			}
+			return blockers[i].k < blockers[j].k
+		})
+		parts := make([]string, 0, len(blockers))
+		for _, b := range blockers {
+			parts = append(parts, fmt.Sprintf("%d %s", b.n, verdictPhrase(b.k)))
+		}
+		return "no flip landed: " + strings.Join(parts, "; ")
+	}
+	// Flips landed but nothing translated through them.
+	var parts []string
+	for _, row := range sortedRows(att.owners) {
+		parts = append(parts, fmt.Sprintf("%s×%d", row.Key, row.N))
+	}
+	ownerList := strings.Join(parts, ", ")
+	if ownerList == "" {
+		ownerList = "unknown"
+	}
+	return fmt.Sprintf(
+		"%d flip(s) landed but none corrupted a live EPT table page (owners: %s)",
+		landed, ownerList)
+}

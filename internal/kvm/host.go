@@ -17,6 +17,7 @@ import (
 
 	"hyperhammer/internal/buddy"
 	"hyperhammer/internal/dram"
+	"hyperhammer/internal/forensics"
 	"hyperhammer/internal/inspect"
 	"hyperhammer/internal/memdef"
 	"hyperhammer/internal/metrics"
@@ -89,6 +90,11 @@ type Config struct {
 	// the simulated clock. Fired alerts surface as "watchpoint.alert"
 	// trace events.
 	Inspect *inspect.Inspector
+	// Forensics, when non-nil, is the flip-provenance recorder: at boot
+	// it is bound to the host's simulated clock and installed as the
+	// DRAM module's flip sink, and every flip the host commits (or a
+	// mitigation vetoes) is resolved to a verdict and an owning frame.
+	Forensics *forensics.Recorder
 }
 
 // DefaultConfig returns an S1-like host: i3-10100 geometry, S1 fault
@@ -126,6 +132,9 @@ type Host struct {
 	rng *rand.Rand
 
 	vms map[*VM]struct{}
+	// vmSeq numbers VMs in creation order so forensics owner records
+	// can name them stably.
+	vmSeq int
 
 	// kernelPages are frames the "host kernel" holds forever (boot
 	// allocations that create the initial unmovable noise).
@@ -175,6 +184,7 @@ type hostMetrics struct {
 	hammerActs     *metrics.Counter
 	balloonReclaim *metrics.Counter
 	balloonProvide *metrics.Counter
+	mitVetoedECC   *metrics.Counter
 }
 
 func newHostMetrics(reg *metrics.Registry) hostMetrics {
@@ -193,6 +203,7 @@ func newHostMetrics(reg *metrics.Registry) hostMetrics {
 		hammerActs:     reg.Counter("hammer_aggressor_activations_total", "Aggressor-row activations charged to the simulated clock."),
 		balloonReclaim: reg.Counter("balloon_reclaimed_pages_total", "Guest pages reclaimed through the virtio-balloon."),
 		balloonProvide: reg.Counter("balloon_provided_pages_total", "Ballooned pages re-populated with fresh backing."),
+		mitVetoedECC:   reg.Counter("mitigation_vetoed_flips_total", dram.VetoedFlipsHelp, "mitigation", "ecc"),
 	}
 }
 
@@ -237,6 +248,12 @@ func NewHost(cfg Config) (*Host, error) {
 	h.cfg.Obs.TapTrace(h.cfg.Trace)
 	h.cfg.Obs.BindClock(h.Clock)
 	h.bindInspector()
+	if cfg.Forensics != nil {
+		// Explicit nil guard: installing a typed-nil *Recorder would
+		// make the module's sink interface non-nil and tax the hot path.
+		cfg.Forensics.BindClock(h.Clock)
+		h.DRAM.SetFlipSink(cfg.Forensics)
+	}
 	h.cfg.Trace.Emit("host.boot",
 		"geometry", cfg.Geometry.Name,
 		"memBytes", cfg.Geometry.Size,
@@ -394,13 +411,15 @@ func (h *Host) noteWrite(a memdef.HPA) {
 func (h *Host) applyFlips(cands []dram.CandidateFlip) int {
 	if h.cfg.ECC {
 		perWord := make(map[memdef.HPA]int)
-		for _, f := range cands {
+		effective := make([]bool, len(cands))
+		for i, f := range cands {
 			// Only count flips that would actually change the bit.
 			w := h.Mem.Word(f.Addr &^ 7)
 			bitPos := (uint(f.Addr)&7)*8 + f.Bit
 			cur := (w >> bitPos) & 1
 			if (f.Direction == dram.FlipOneToZero) == (cur == 1) {
 				perWord[f.Addr&^7]++
+				effective[i] = true
 			}
 		}
 		for _, n := range perWord {
@@ -414,6 +433,21 @@ func (h *Host) applyFlips(cands []dram.CandidateFlip) int {
 			} else {
 				h.eccCorrected++
 				h.met.eccCorrected.Inc()
+				h.met.mitVetoedECC.Inc()
+			}
+		}
+		if h.cfg.Forensics != nil {
+			// Resolve in candidate order, never perWord map order:
+			// forensics output must be deterministic.
+			for i, f := range cands {
+				switch {
+				case !effective[i]:
+					h.cfg.Forensics.ResolveFlip(f.Addr, f.Bit, forensics.VerdictDirectionFiltered, nil)
+				case perWord[f.Addr&^7] >= 2:
+					h.cfg.Forensics.ResolveFlip(f.Addr, f.Bit, forensics.VerdictECCUncorrectable, nil)
+				default:
+					h.cfg.Forensics.ResolveFlip(f.Addr, f.Bit, forensics.VerdictECCCorrected, nil)
+				}
 			}
 		}
 		// Correctable single-bit errors are scrubbed before any read;
@@ -429,6 +463,11 @@ func (h *Host) applyFlips(cands []dram.CandidateFlip) int {
 			h.cfg.Inspect.RecordFlip(h.cfg.Geometry.Bank(f.Addr), h.cfg.Geometry.Row(f.Addr))
 			h.cfg.Trace.Emit("dram.flip",
 				"hpa", fmt.Sprintf("%#x", f.Addr), "bit", f.Bit, "dir", f.Direction)
+			if h.cfg.Forensics != nil {
+				h.cfg.Forensics.ResolveFlip(f.Addr, f.Bit, forensics.VerdictLanded, h.flipOwner(f.Addr))
+			}
+		} else if h.cfg.Forensics != nil {
+			h.cfg.Forensics.ResolveFlip(f.Addr, f.Bit, forensics.VerdictDirectionFiltered, nil)
 		}
 	}
 	if applied > 0 {
@@ -437,4 +476,48 @@ func (h *Host) applyFlips(cands []dram.CandidateFlip) int {
 		}
 	}
 	return applied
+}
+
+// flipOwner resolves the frame a landed flip corrupted to its owner at
+// flip time. Only called with a forensics recorder attached. Iterating
+// h.vms (a map) is safe here: a frame backs at most one VM, so the
+// result does not depend on iteration order.
+func (h *Host) flipOwner(a memdef.HPA) *forensics.Owner {
+	p := memdef.PFNOf(a)
+	if vm, ok := h.tableOwner[p]; ok {
+		if level, isEPT := vm.ept.IsTablePage(p); isEPT {
+			return &forensics.Owner{Kind: forensics.OwnerEPTTable, VM: vm.id, Level: level}
+		}
+		return &forensics.Owner{Kind: forensics.OwnerIOPTTable, VM: vm.id}
+	}
+	hugeBase := p &^ memdef.PFN(memdef.PagesPerHuge-1)
+	for vm := range h.vms {
+		if gpa, ok := vm.reverse[p]; ok {
+			cb := vm.backing[gpa]
+			if cb != nil && !cb.huge {
+				// reverse indexes non-huge chunks per frame but maps to
+				// the chunk base GPA; add the frame's offset within it.
+				for i, fp := range cb.frames {
+					if fp == p {
+						gpa += memdef.GPA(uint64(i) * memdef.PageSize)
+						break
+					}
+				}
+			}
+			return &forensics.Owner{Kind: forensics.OwnerGuestFrame, VM: vm.id, GPA: uint64(gpa)}
+		}
+		// Huge chunks index only the base frame in reverse.
+		if gpa, ok := vm.reverse[hugeBase]; ok && hugeBase != p {
+			if cb := vm.backing[gpa]; cb != nil && cb.huge {
+				gpa += memdef.GPA(uint64(p-hugeBase) * memdef.PageSize)
+				return &forensics.Owner{Kind: forensics.OwnerGuestFrame, VM: vm.id, GPA: uint64(gpa)}
+			}
+		}
+	}
+	for _, kp := range h.kernelPages {
+		if kp == p {
+			return &forensics.Owner{Kind: forensics.OwnerKernel}
+		}
+	}
+	return &forensics.Owner{Kind: forensics.OwnerFree}
 }

@@ -76,6 +76,9 @@ type tlbEntry struct {
 type VM struct {
 	host *Host
 	cfg  VMConfig
+	// id numbers the VM in host creation order (1-based), for stable
+	// naming in traces and forensics owner records.
+	id int
 
 	ept      *ept.Table
 	eptAlloc *tableAllocator
@@ -156,9 +159,11 @@ func (h *Host) CreateVM(cfg VMConfig) (*VM, error) {
 	if cfg.IOMMUMapLimit == 0 {
 		cfg.IOMMUMapLimit = viommu.DefaultMapLimit
 	}
+	h.vmSeq++
 	vm := &VM{
 		host:    h,
 		cfg:     cfg,
+		id:      h.vmSeq,
 		backing: make(map[memdef.GPA]*chunkBacking),
 		reverse: make(map[memdef.PFN]memdef.GPA),
 		tlb:     make(map[memdef.GPA]tlbEntry),
@@ -219,6 +224,9 @@ func (h *Host) CreateVM(cfg VMConfig) (*VM, error) {
 
 // Host returns the host the VM runs on (host-side instrumentation).
 func (vm *VM) Host() *Host { return vm.host }
+
+// ID returns the VM's host-assigned creation-order number (1-based).
+func (vm *VM) ID() int { return vm.id }
 
 // Config returns the VM's configuration.
 func (vm *VM) Config() VMConfig { return vm.cfg }

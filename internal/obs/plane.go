@@ -4,6 +4,7 @@ import (
 	"sync"
 	"time"
 
+	"hyperhammer/internal/forensics"
 	"hyperhammer/internal/inspect"
 	"hyperhammer/internal/metrics"
 	"hyperhammer/internal/profile"
@@ -45,6 +46,7 @@ type Plane struct {
 	profiler  *profile.Builder
 	artifact  func() any
 	inspector *inspect.Inspector
+	forensics *forensics.Recorder
 }
 
 // NewPlane creates a plane over reg (which may be nil: the plane then
@@ -217,6 +219,30 @@ func (p *Plane) Inspector() *inspect.Inspector {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.inspector
+}
+
+// SetForensics installs the flip-provenance recorder the server's
+// /api/forensics endpoint serves from. A nil recorder (or never calling
+// this) makes the endpoint serve an empty-but-schema-valid snapshot.
+// Safe on a nil receiver.
+func (p *Plane) SetForensics(r *forensics.Recorder) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.forensics = r
+	p.mu.Unlock()
+}
+
+// Forensics returns the installed flip-provenance recorder (nil when
+// unset; forensics snapshots are nil-safe).
+func (p *Plane) Forensics() *forensics.Recorder {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.forensics
 }
 
 // KeepAlive returns the SSE keepalive interval.

@@ -27,6 +27,8 @@ import (
 //	               plane; empty-but-valid without an inspector)
 //	/api/census    memory-layout census per plan unit + live host
 //	/api/alerts    fired watchpoint alerts (totals, per-rule, ring)
+//	/api/forensics flip-provenance snapshot: per-attempt flip lineage,
+//	               verdict/owner taxonomies, campaign outcomes
 //	/debug/pprof/  the standard Go profiler endpoints (wall-clock; the
 //	               simulation's own profile is /api/profile)
 type Server struct {
@@ -58,6 +60,7 @@ func (p *Plane) Serve(addr string) (*Server, error) {
 	mux.HandleFunc("/api/heatmap", s.handleHeatmap)
 	mux.HandleFunc("/api/census", s.handleCensus)
 	mux.HandleFunc("/api/alerts", s.handleAlerts)
+	mux.HandleFunc("/api/forensics", s.handleForensics)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -180,6 +183,13 @@ func (s *Server) handleCensus(w http.ResponseWriter, _ *http.Request) {
 // handleAlerts serves the fired-watchpoint state.
 func (s *Server) handleAlerts(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, s.plane.Inspector().AlertsSnapshot())
+}
+
+// handleForensics serves the flip-provenance snapshot. Snapshot is
+// nil-safe, so the shape contract holds with no recorder installed:
+// arrays are [] and never null.
+func (s *Server) handleForensics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, s.plane.Forensics().Snapshot())
 }
 
 // handleEvents streams the bus over SSE: the replay ring first, then

@@ -352,7 +352,7 @@ func TestConcurrentScrapeWhileSimulating(t *testing.T) {
 		}
 	}()
 	paths := []string{"/healthz", "/metrics", "/api/snapshot", "/api/series", "/",
-		"/api/heatmap", "/api/census", "/api/alerts"}
+		"/api/heatmap", "/api/census", "/api/alerts", "/api/forensics"}
 	for _, path := range paths {
 		path := path
 		go func() {

@@ -1,11 +1,13 @@
 package runartifact
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
 
 	"hyperhammer/internal/benchfmt"
+	"hyperhammer/internal/forensics"
 	"hyperhammer/internal/inspect"
 	"hyperhammer/internal/report"
 )
@@ -165,6 +167,16 @@ func Compare(a, b *Artifact, tol Tolerances) *Diff {
 		}
 	}
 
+	// The forensics section likewise compares at the (zero-default)
+	// counter tolerance: attempt outcomes, flip verdicts, and owner
+	// attributions are all seed-deterministic.
+	if a.Forensics != nil || b.Forensics != nil {
+		fa, fb := forensicsMap(a.Forensics), forensicsMap(b.Forensics)
+		for _, key := range unionKeys(fa, fb) {
+			add("forensics", key, fa[key], fb[key], tol.CountFrac, tol.CountAbs)
+		}
+	}
+
 	if a.Bench != nil && b.Bench != nil {
 		benchDeltas(d, a.Bench, b.Bench, tol)
 	}
@@ -210,6 +222,47 @@ func heatmapMap(h *inspect.HeatmapSnapshot) map[string]float64 {
 	// Fold to float-exact 52 bits so the value survives the float64
 	// comparison machinery unchanged.
 	m["grid_fingerprint"] = float64(fp % (1 << 52))
+	return m
+}
+
+// forensicsMap flattens a forensics snapshot to comparison keys: the
+// headline totals, the verdict/owner/outcome tables, and an FNV-1a
+// fingerprint over the serialized campaign records so any drift in
+// per-attempt lineage (causes, flip details, sim times) is caught
+// without emitting a row per flip.
+func forensicsMap(s *forensics.Snapshot) map[string]float64 {
+	m := map[string]float64{}
+	if s == nil {
+		return m
+	}
+	m["version"] = float64(s.Version)
+	m["campaigns"] = float64(len(s.Campaigns))
+	attempts := 0
+	for i := range s.Campaigns {
+		attempts += len(s.Campaigns[i].Attempts)
+	}
+	m["attempts"] = float64(attempts)
+	m["flips_recorded"] = float64(s.FlipsRecorded)
+	m["flips_truncated"] = float64(s.FlipsTruncated)
+	for _, r := range s.Verdicts {
+		m["verdict["+r.Key+"]"] = float64(r.N)
+	}
+	for _, r := range s.Owners {
+		m["owner["+r.Key+"]"] = float64(r.N)
+	}
+	for _, r := range s.Outcomes {
+		m["outcome["+r.Key+"]"] = float64(r.N)
+	}
+	raw, err := json.Marshal(s.Campaigns)
+	if err == nil {
+		fp := uint64(14695981039346656037)
+		for _, c := range raw {
+			fp ^= uint64(c)
+			fp *= 1099511628211
+		}
+		// Fold to float-exact 52 bits, like the heatmap grid fingerprint.
+		m["campaign_fingerprint"] = float64(fp % (1 << 52))
+	}
 	return m
 }
 

@@ -20,6 +20,7 @@ import (
 	"os"
 
 	"hyperhammer/internal/benchfmt"
+	"hyperhammer/internal/forensics"
 	"hyperhammer/internal/inspect"
 	"hyperhammer/internal/metrics"
 	"hyperhammer/internal/profile"
@@ -79,6 +80,11 @@ type Artifact struct {
 	Heatmap *inspect.HeatmapSnapshot `json:"heatmap,omitempty"`
 	Census  *inspect.CensusSnapshot  `json:"census,omitempty"`
 	Alerts  *inspect.AlertsSnapshot  `json:"alerts,omitempty"`
+	// Forensics embeds the flip-provenance plane's snapshot when the
+	// run carried a recorder: per-attempt flip lineage, verdict and
+	// owner taxonomies, and campaign outcome tables. cmd/hh-why reads
+	// this section offline; hh-diff compares it at zero tolerance.
+	Forensics *forensics.Snapshot `json:"forensics,omitempty"`
 }
 
 // SetInspector embeds the inspector's three snapshots; a nil inspector
@@ -92,6 +98,16 @@ func (a *Artifact) SetInspector(ins *inspect.Inspector) {
 	c := ins.CensusSnapshot()
 	al := ins.AlertsSnapshot()
 	a.Heatmap, a.Census, a.Alerts = &h, &c, &al
+}
+
+// SetForensics embeds the recorder's snapshot; a nil recorder leaves
+// the artifact without a forensics section.
+func (a *Artifact) SetForensics(r *forensics.Recorder) {
+	if r == nil {
+		return
+	}
+	s := r.Snapshot()
+	a.Forensics = &s
 }
 
 // New returns an artifact shell with the identifying fields set.
