@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race vet lint bench bench-short tables demo fuzz profile-gate parallel-gate clean
+.PHONY: all build test test-short test-race vet lint bench bench-short bench-verify tables demo fuzz profile-gate parallel-gate clean
 
 all: build vet test
 
@@ -37,11 +37,27 @@ test-race:
 # Table 3 runs two complete attack campaigns and dominates the time.
 # The raw log is kept and also parsed into a machine-readable
 # BENCH_*.json (names, iteration counts, ns/op, allocations, and the
-# custom sim-time metrics reported via b.ReportMetric).
+# custom sim-time metrics reported via b.ReportMetric). Both
+# bench_output.txt and BENCH_full.json are committed; commit the
+# refreshed pair together so bench-verify stays green.
 bench:
 	$(GO) test -bench=. -benchmem ./... > bench_output.txt || { cat bench_output.txt; exit 1; }
 	cat bench_output.txt
 	$(GO) run ./cmd/hh-benchjson -o BENCH_full.json bench_output.txt
+
+# Staleness gate for the committed benchmark document: BENCH_full.json
+# must be exactly what hh-benchjson derives from the committed
+# bench_output.txt (the generatedAt timestamp aside). On FAIL: run
+# `make bench` and commit both files together.
+bench-verify:
+	$(GO) run ./cmd/hh-benchjson -o BENCH_check.json bench_output.txt
+	@grep -v '"generatedAt"' BENCH_full.json > BENCH_full.stripped
+	@grep -v '"generatedAt"' BENCH_check.json > BENCH_check.stripped
+	@cmp BENCH_full.stripped BENCH_check.stripped || { \
+		echo "bench-verify: BENCH_full.json is stale vs bench_output.txt; run 'make bench' and commit both"; \
+		rm -f BENCH_check.json BENCH_full.stripped BENCH_check.stripped; exit 1; }
+	@rm -f BENCH_check.json BENCH_full.stripped BENCH_check.stripped
+	@echo "bench-verify: BENCH_full.json matches bench_output.txt"
 
 bench-short:
 	$(GO) test -bench=. -benchmem -short ./... > bench_output.txt || { cat bench_output.txt; exit 1; }
@@ -71,14 +87,20 @@ profile-gate: build
 # Parallel-determinism gate: the full short evaluation run twice, at
 # -parallel 1 and -parallel 4, must produce byte-identical stdout and
 # trace streams and a zero-tolerance hh-diff match on the artifact.
+# The plan section (host-cost schedule) is the one sanctioned
+# exception: hh-diff compares its shape exactly but its host timings
+# loosely, and the Chrome trace rides along without perturbing any
+# deterministic stream.
 parallel-gate:
-	$(GO) build -o bin/ ./cmd/hh-tables ./cmd/hh-diff
+	$(GO) build -o bin/ ./cmd/hh-tables ./cmd/hh-diff ./cmd/hh-plan
 	bin/hh-tables -short -all -parallel 1 -trace seq.trace -artifact seq.json > seq.txt
-	bin/hh-tables -short -all -parallel 4 -trace par.trace -artifact par.json > par.txt
+	bin/hh-tables -short -all -parallel 4 -trace par.trace -artifact par.json -chrome-trace par_chrome.json > par.txt
 	diff seq.txt par.txt
 	cmp seq.trace par.trace
 	bin/hh-diff seq.json par.json
-	rm -f seq.trace par.trace seq.json par.json seq.txt par.txt
+	grep -q '"criticalPath"' par.json
+	bin/hh-plan -artifact par.json > /dev/null
+	rm -f seq.trace par.trace seq.json par.json seq.txt par.txt par_chrome.json
 
 # Brief fuzzing pass over the fuzz targets.
 fuzz:

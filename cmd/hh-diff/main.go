@@ -16,7 +16,13 @@
 //	hh-diff old.json new.json
 //	hh-diff -sim-tol 0.05 -count-tol 0.05 testdata/baselines/short-seed4.json run.json
 //	hh-diff -bench-tol 0.5 BENCH_old.json BENCH_new.json
+//	hh-diff -host-tol 0.5 old.json new.json   # gate plan host timings at ±50%
 //	hh-diff -all old.json new.json     # list in-tolerance rows too
+//
+// The plan section (host-cost schedule) is special: host wall-clock is
+// non-deterministic, so its shape (unit count, per-unit completion)
+// compares exactly under -count-tol while its durations compare under
+// -host-tol, whose default of 1.0 lists them without ever gating.
 package main
 
 import (
@@ -39,6 +45,8 @@ func main() {
 		countTol = flag.Float64("count-tol", tol.CountFrac, "relative tolerance on counters and outcomes")
 		countAbs = flag.Float64("count-abs", tol.CountAbs, "absolute tolerance on counters and outcomes")
 		benchTol = flag.Float64("bench-tol", tol.BenchFrac, "relative tolerance on benchmark ns/op")
+		hostTol  = flag.Float64("host-tol", tol.HostFrac, "relative tolerance on plan host-time figures (1.0 lists without gating)")
+		hostAbs  = flag.Float64("host-abs", tol.HostAbs, "absolute tolerance on plan host-time figures (seconds)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: hh-diff [flags] old.json new.json")
@@ -52,6 +60,7 @@ func main() {
 	tol.SimFrac, tol.SimAbs = *simTol, *simAbs
 	tol.CountFrac, tol.CountAbs = *countTol, *countAbs
 	tol.BenchFrac = *benchTol
+	tol.HostFrac, tol.HostAbs = *hostTol, *hostAbs
 
 	oldPath, newPath := flag.Arg(0), flag.Arg(1)
 	artOld, benchOld, err := load(oldPath)

@@ -8,7 +8,9 @@
 // output) and renders its embedded DRAM heatmap, layout census, and
 // watchpoint alert table — the same ASCII view as hh-top -once. The
 // forensics subcommand renders the artifact's flip-provenance section
-// (the same summary hh-why prints).
+// (the same summary hh-why prints). The plan subcommand renders the
+// artifact's host-cost schedule — Gantt chart, worker utilization,
+// critical path — through the same renderer as hh-plan.
 //
 // Usage:
 //
@@ -19,6 +21,7 @@
 //	hh-inspect -timeline -width 100 run.trace
 //	hh-inspect heatmap run.json      # introspection sections of an artifact
 //	hh-inspect forensics run.json    # flip-provenance section of an artifact
+//	hh-inspect plan run.json         # host-cost schedule of an artifact
 package main
 
 import (
@@ -28,6 +31,7 @@ import (
 
 	"hyperhammer/internal/inspect"
 	"hyperhammer/internal/obs"
+	"hyperhammer/internal/profile"
 	"hyperhammer/internal/report"
 	"hyperhammer/internal/runartifact"
 	"time"
@@ -52,6 +56,16 @@ func main() {
 			os.Exit(2)
 		}
 		if err := renderForensics(os.Args[2]); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "plan" {
+		if len(os.Args) != 3 {
+			fmt.Fprintln(os.Stderr, "usage: hh-inspect plan artifact.json")
+			os.Exit(2)
+		}
+		if err := renderPlan(os.Args[2]); err != nil {
 			fatal(err)
 		}
 		return
@@ -142,6 +156,22 @@ func renderForensics(path string) error {
 		path, a.Tool, a.Seed, a.Scale, a.SimSeconds)
 	a.Forensics.WriteSummary(os.Stdout)
 	return nil
+}
+
+// renderPlan prints an artifact's host-cost schedule with the renderer
+// shared with hh-plan: Gantt chart, worker utilization, critical path,
+// and top-slack units.
+func renderPlan(path string) error {
+	a, err := runartifact.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if a.Plan == nil {
+		return fmt.Errorf("%s carries no plan section (produce it with -artifact on a build with the host-cost plane)", path)
+	}
+	fmt.Printf("%s: tool=%s seed=%d scale=%s simSeconds=%.1f\n\n",
+		path, a.Tool, a.Seed, a.Scale, a.SimSeconds)
+	return profile.RenderPlan(os.Stdout, a.Plan, 72)
 }
 
 func fatal(err error) {

@@ -1,0 +1,125 @@
+// Command hh-plan is a terminal view of the host-cost schedule: an
+// ASCII Gantt chart of the experiment matrix across workers,
+// per-worker utilization bars, the critical path through the run, and
+// the top-slack units that could absorb more work. It refreshes live
+// against a running obs server's /api/plan or renders once from a
+// saved run artifact's plan section.
+//
+// All figures here are host wall-clock — the one non-deterministic
+// plane of a run — so nothing hh-plan shows participates in the
+// byte-identical artifact guarantee (see DESIGN.md).
+//
+// Usage:
+//
+//	hh-plan                              # watch http://127.0.0.1:9190
+//	hh-plan -url http://host:port        # watch another obs server
+//	hh-plan -interval 5s                 # refresh cadence
+//	hh-plan -iterations 3                # stop after N refreshes
+//	hh-plan -once                        # fetch once, no repaint loop
+//	hh-plan -artifact run.json           # render a saved artifact, exit
+//	hh-plan -width 120                   # wider Gantt/utilization bars
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"hyperhammer/internal/profile"
+	"hyperhammer/internal/runartifact"
+)
+
+func main() {
+	url := flag.String("url", "http://127.0.0.1:9190", "obs server base URL (scheme optional)")
+	interval := flag.Duration("interval", 2*time.Second, "refresh interval in live mode")
+	iterations := flag.Int("iterations", 0, "stop after this many refreshes (0 = until interrupted)")
+	once := flag.Bool("once", false, "fetch and render a single frame without clearing the screen")
+	artifact := flag.String("artifact", "", "render this saved run artifact's plan section and exit (no server needed)")
+	width := flag.Int("width", 72, "chart width in characters")
+	flag.Parse()
+
+	if *artifact != "" {
+		if err := renderArtifact(*artifact, *width); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *once {
+		*iterations = 1
+	}
+	if err := watch(normalizeURL(*url), *interval, *iterations, *width, *once); err != nil {
+		fatal(err)
+	}
+}
+
+// renderArtifact is the offline path: the artifact's embedded plan
+// section through the same renderer the live view uses (and that
+// hh-inspect's plan subcommand shares).
+func renderArtifact(path string, width int) error {
+	a, err := runartifact.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if a.Plan == nil {
+		return fmt.Errorf("%s carries no plan section (rerun the producing tool with -artifact on a build with the host-cost plane)", path)
+	}
+	fmt.Printf("hh-plan -artifact %s  (tool=%s seed=%d scale=%s simSeconds=%.1f)\n\n",
+		path, a.Tool, a.Seed, a.Scale, a.SimSeconds)
+	return profile.RenderPlan(os.Stdout, a.Plan, width)
+}
+
+// watch polls /api/plan and repaints. A run that has not finished yet
+// serves a plan with zero units; that renders as an empty schedule
+// rather than an error so the watch can be started before the run.
+func watch(base string, interval time.Duration, iterations, width int, plain bool) error {
+	client := &http.Client{Timeout: 10 * time.Second}
+	for i := 0; ; i++ {
+		var plan profile.PlanReport
+		if err := getJSON(client, base+"/api/plan", &plan); err != nil {
+			return err
+		}
+		if !plain {
+			// Classic top repaint: clear, home, redraw.
+			fmt.Print("\x1b[2J\x1b[H")
+		}
+		fmt.Printf("hh-plan  %s  (refresh %s)\n\n", base, interval)
+		if err := profile.RenderPlan(os.Stdout, &plan, width); err != nil {
+			return err
+		}
+		if iterations > 0 && i+1 >= iterations {
+			return nil
+		}
+		time.Sleep(interval)
+	}
+}
+
+func getJSON(client *http.Client, url string, v any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		return fmt.Errorf("GET %s: decoding: %w", url, err)
+	}
+	return nil
+}
+
+func normalizeURL(u string) string {
+	if !strings.Contains(u, "://") {
+		u = "http://" + u
+	}
+	return strings.TrimRight(u, "/")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hh-plan:", err)
+	os.Exit(1)
+}

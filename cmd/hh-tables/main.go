@@ -55,6 +55,7 @@ func main() {
 	obsSample := flag.Duration("obs-sample", time.Second, "simulated-time interval between observability samples")
 	obsHold := flag.Duration("obs-hold", 0, "keep the observability server up this long (wall clock) after the run ends")
 	artifactPath := flag.String("artifact", "", "write the self-describing run bundle (config, metrics, cost profile) to this file for hh-diff")
+	chromePath := flag.String("chrome-trace", "", "write the host-cost schedule as Chrome trace_event JSON (loadable in Perfetto / chrome://tracing) to this file")
 	parallel := flag.Int("parallel", 0, "worker-pool size for independent experiment units (0 = GOMAXPROCS, 1 = sequential; results are identical at any setting)")
 	flag.Var(&tables, "table", "table number to reproduce (repeatable: 1, 2, 3)")
 	flag.Parse()
@@ -156,6 +157,13 @@ func main() {
 		}
 		log.Info("observability plane serving", "url", "http://"+srv.Addr()+"/")
 	}
+	// The shared plan is created here — after the whole telemetry plane
+	// is wired into o — so the artifact builder, the /api/plan endpoint,
+	// and the Chrome-trace exporter below can all source the host-cost
+	// schedule from it. Experiments register their units further down.
+	p := experiments.NewPlan(o)
+	p.SetProfiler(profiler)
+	o.Obs.SetPlanFunc(p.PlanReport)
 	scale := "full"
 	if *short {
 		scale = "short"
@@ -168,10 +176,16 @@ func main() {
 		a.Config["parallel"] = strconv.Itoa(*parallel)
 		a.Config["selection"] = strings.Join(os.Args[1:], " ")
 		a.SimSeconds = o.Metrics.SimTime().Seconds()
-		a.Metrics = o.Metrics.Snapshot()
+		// StripHost keeps the artifact's metrics section byte-identical
+		// at any -parallel: sched_* families are host observations and
+		// live in the plan section instead.
+		a.Metrics = o.Metrics.Snapshot().StripHost()
 		a.SetProfile(profiler.Snapshot())
 		a.SetInspector(o.Inspect)
 		a.SetForensics(o.Forensics)
+		if p.Schedule() != nil {
+			a.SetPlan(p.PlanReport())
+		}
 		return a
 	}
 	if *artifactPath != "" {
@@ -187,9 +201,28 @@ func main() {
 		}
 		log.Info("run artifact written", "path", *artifactPath)
 	}
+	writeChrome := func() {
+		if *chromePath == "" {
+			return
+		}
+		f, err := os.Create(*chromePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hh-tables:", err)
+			return
+		}
+		if err := hyperhammer.WriteChromeTrace(f, p.Schedule()); err != nil {
+			fmt.Fprintln(os.Stderr, "hh-tables:", err)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "hh-tables:", err)
+			return
+		}
+		log.Info("chrome trace written", "path", *chromePath)
+	}
 	shutdown := func() {
 		flushMetrics()
 		writeArtifact()
+		writeChrome()
 		closeTrace()
 		if srv != nil {
 			if *obsHold > 0 {
@@ -210,14 +243,13 @@ func main() {
 		}
 		return false
 	}
-	// Every selected experiment registers its units on one shared
-	// plan; the plan fans independent units across the worker pool and
-	// folds results — values and telemetry alike — in declaration
-	// order, so stdout, metrics, traces and the artifact are identical
-	// at any -parallel setting. Printing happens after Run, from the
-	// resolved futures, in the same order as the sequential CLI.
-	p := experiments.NewPlan(o)
-	p.SetProfiler(profiler)
+	// Every selected experiment registers its units on the shared plan
+	// created above; the plan fans independent units across the worker
+	// pool and folds results — values and telemetry alike — in
+	// declaration order, so stdout, metrics, traces and the artifact
+	// are identical at any -parallel setting. Printing happens after
+	// Run, from the resolved futures, in the same order as the
+	// sequential CLI.
 	var prints []func()
 	sel := func(what string, reg func()) {
 		log.Info("queueing", "artifact", what)

@@ -11,6 +11,7 @@
 //	hyperhammer -attempts N        # attempt budget
 //	hyperhammer -obs 127.0.0.1:0   # live status page + /metrics + SSE
 //	hyperhammer -artifact run.json # write the run bundle for hh-diff
+//	hyperhammer -chrome-trace t.json # host-cost schedule for Perfetto
 package main
 
 import (
@@ -20,12 +21,14 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"hyperhammer"
 	"hyperhammer/internal/obs"
 	"hyperhammer/internal/report"
 	"hyperhammer/internal/runartifact"
+	"hyperhammer/internal/sched"
 )
 
 func main() {
@@ -41,6 +44,7 @@ func main() {
 	artifactPath := flag.String("artifact", "", "write the self-describing run bundle (config, metrics, cost profile, outcome) to this file for hh-diff")
 	hammerRounds := flag.Int("hammer-rounds", 0, "activation budget per hammer pattern (0 = attack default)")
 	parallel := flag.Int("parallel", 1, "accepted for CLI symmetry with hh-tables and recorded in the artifact; the single campaign is one serial unit, so it does not change execution")
+	chromeTrace := flag.String("chrome-trace", "", "write the host-cost schedule as Chrome trace_event JSON to this file (load in Perfetto or chrome://tracing)")
 	flag.Parse()
 
 	if *seed == 0 {
@@ -203,6 +207,11 @@ func main() {
 	// /api/artifact endpoint, or a crash path) yields a bundle without
 	// outcome rows, which hh-diff treats as figures missing on one side.
 	var campaignRes *hyperhammer.CampaignResult
+	// The host-cost schedule of the single campaign unit, stamped by
+	// the timed scheduler. Stored atomically because the live /api/plan
+	// and /api/artifact handlers read it from server goroutines while
+	// the campaign is still running (Load() == nil until it finishes).
+	var hostSched atomic.Pointer[hyperhammer.HostSchedule]
 	scale := "full"
 	if *short {
 		scale = "short"
@@ -216,10 +225,16 @@ func main() {
 		a.Config["parallel"] = strconv.Itoa(*parallel)
 		a.Config["geometry"] = hostCfg.Geometry.Name
 		a.SimSeconds = reg.SimTime().Seconds()
-		a.Metrics = reg.Snapshot()
+		// Host telemetry (sched_*) is wall-clock and would break the
+		// byte-identical artifact guarantee; the plan section is the
+		// one place host cost is allowed to live.
+		a.Metrics = reg.Snapshot().StripHost()
 		a.SetProfile(profiler.Snapshot())
 		a.SetInspector(inspector)
 		a.SetForensics(forensicsRec)
+		if sc := hostSched.Load(); sc != nil {
+			a.SetPlan(hyperhammer.BuildPlanReport(sc))
+		}
 		if res := campaignRes; res != nil {
 			a.Outcome["attempts"] = float64(len(res.Attempts))
 			a.Outcome["successes"] = float64(res.Successes)
@@ -249,6 +264,11 @@ func main() {
 	if *artifactPath != "" {
 		plane.SetArtifactFunc(func() any { return buildArtifact() })
 	}
+	// /api/plan serves the host-cost analysis live; until the campaign
+	// finishes it reports an empty schedule rather than erroring.
+	plane.SetPlanFunc(func() *hyperhammer.PlanReport {
+		return hyperhammer.BuildPlanReport(hostSched.Load())
+	})
 	writeArtifact := func() {
 		if *artifactPath == "" {
 			return
@@ -259,6 +279,25 @@ func main() {
 		}
 		log.Info("run artifact written", "path", *artifactPath)
 	}
+	writeChrome := func() {
+		if *chromeTrace == "" {
+			return
+		}
+		f, err := os.Create(*chromeTrace)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hyperhammer:", err)
+			return
+		}
+		err = hyperhammer.WriteChromeTrace(f, hostSched.Load())
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hyperhammer:", err)
+			return
+		}
+		log.Info("chrome trace written", "path", *chromeTrace)
+	}
 	shutdown := func() {
 		// The campaign (or the error path) is done and the simulating
 		// goroutine is idle, so a final census/watchpoint pass reflects
@@ -266,6 +305,7 @@ func main() {
 		inspector.Finalize(reg.SimTime())
 		exportMetrics()
 		writeArtifact()
+		writeChrome()
 		closeTrace()
 		closeObs()
 	}
@@ -285,20 +325,34 @@ func main() {
 	log.Info("attacker VM configured",
 		"memMiB", vmCfg.MemSize/hyperhammer.MiB, "vfioGroups", 1, "viommu", true)
 
-	res, err := hyperhammer.RunCampaign(host, hyperhammer.CampaignConfig{
-		Attack:             attackCfg,
-		VM:                 vmCfg,
-		MaxAttempts:        budget,
-		StopAtFirstSuccess: true,
-		VerifyHPA:          secretHPA,
-		VerifyValue:        secretValue,
-		ChurnOps:           400,
+	// The single campaign runs as a one-unit batch through the same
+	// timed scheduler hh-tables uses: with one unit the pool clamps to
+	// one worker and takes the sequential fast path, so execution is
+	// identical to a direct call — but the run lands in the host-cost
+	// plane (/api/plan, the artifact's plan section, -chrome-trace).
+	sc, err := sched.New(*parallel).RunTimed([]sched.Unit{{
+		Name: "campaign",
+		Run: func() (any, error) {
+			return hyperhammer.RunCampaign(host, hyperhammer.CampaignConfig{
+				Attack:             attackCfg,
+				VM:                 vmCfg,
+				MaxAttempts:        budget,
+				StopAtFirstSuccess: true,
+				VerifyHPA:          secretHPA,
+				VerifyValue:        secretValue,
+				ChurnOps:           400,
+			})
+		},
+	}}, func(_ int, v any) error {
+		campaignRes = v.(*hyperhammer.CampaignResult)
+		return nil
 	})
+	hostSched.Store(sc)
 	if err != nil {
 		shutdown()
 		fatal(err)
 	}
-	campaignRes = res
+	res := campaignRes
 	log.Info("profiling finished",
 		"exploitableBits", res.ProfiledBits,
 		"simulated", res.ProfileDuration.String())

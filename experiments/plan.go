@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"sync"
+
 	"hyperhammer/internal/forensics"
 	"hyperhammer/internal/inspect"
 	"hyperhammer/internal/metrics"
@@ -82,6 +84,9 @@ type Plan struct {
 	units    []sched.Unit
 	merges   []func(any)
 	finals   []func() error
+
+	mu       sync.Mutex
+	schedule *sched.Schedule
 }
 
 // NewPlan creates an empty plan over the given options. Experiments
@@ -148,7 +153,7 @@ func (p *Plan) finally(fn func() error) { p.finals = append(p.finals, fn) }
 // unit's error (lowest declaration index) aborts the plan.
 func (p *Plan) Run() error {
 	runner := sched.New(p.o.Parallel)
-	err := runner.Run(p.units, func(i int, v any) error {
+	sc, err := runner.RunTimed(p.units, func(i int, v any) error {
 		ur := v.(unitResult)
 		p.mergeScope(p.units[i].Name, ur.scope)
 		if p.merges[i] != nil {
@@ -156,6 +161,10 @@ func (p *Plan) Run() error {
 		}
 		return nil
 	})
+	p.mu.Lock()
+	p.schedule = sc
+	p.mu.Unlock()
+	p.recordSchedMetrics(sc)
 	if err != nil {
 		return err
 	}
@@ -165,6 +174,61 @@ func (p *Plan) Run() error {
 		}
 	}
 	return nil
+}
+
+// Schedule returns the host-cost schedule of the last Run (nil before
+// any run). Safe for concurrent use with Run: the obs plane's
+// /api/plan handler polls this from the server goroutine.
+func (p *Plan) Schedule() *sched.Schedule {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.schedule
+}
+
+// PlanReport builds the host-cost analysis of the last Run: per-unit
+// timings, critical path, parallel efficiency. Never nil — before any
+// run it is the empty report — so it plugs directly into
+// obs.Plane.SetPlanFunc and runartifact.Artifact.SetPlan.
+func (p *Plan) PlanReport() *profile.PlanReport {
+	return profile.BuildPlanReport(p.Schedule())
+}
+
+// recordSchedMetrics surfaces the schedule in the shared metrics
+// registry (sched_units_total, sched_workers,
+// sched_queue_wait_seconds) so /metrics and the Prometheus exporter
+// carry scheduler telemetry live. These are *host* metrics — real
+// wall-clock, different at every -parallel — so artifact builders must
+// snapshot with StripHost to keep the artifact's metrics section
+// deterministic; the host view belongs in the plan section.
+func (p *Plan) recordSchedMetrics(sc *sched.Schedule) {
+	if p.o.Metrics == nil || sc == nil {
+		return
+	}
+	const unitsHelp = "Scheduled experiment units, by completion status."
+	var delivered, undelivered uint64
+	for _, u := range sc.Units {
+		if u.Delivered {
+			delivered++
+		} else {
+			undelivered++
+		}
+	}
+	p.o.Metrics.Counter("sched_units_total", unitsHelp, "status", "delivered").Add(delivered)
+	if undelivered > 0 {
+		p.o.Metrics.Counter("sched_units_total", unitsHelp, "status", "undelivered").Add(undelivered)
+	}
+	p.o.Metrics.Gauge("sched_workers",
+		"Effective worker-pool size of the last scheduled batch.").Set(int64(sc.Workers))
+	hist := p.o.Metrics.Histogram("sched_queue_wait_seconds",
+		"Host time units waited between declaration and start.", metrics.DefBuckets)
+	for _, u := range sc.Units {
+		if u.Started {
+			hist.Observe(u.QueueWaitSeconds())
+		}
+	}
 }
 
 // mergeScope folds one completed unit's telemetry into the shared

@@ -78,6 +78,12 @@ func planRun(t *testing.T, parallel int) (results []byte, snap metrics.Snapshot,
 // the same plan at -parallel 1 and -parallel 4 must produce
 // byte-identical results, metrics, profiles, and span streams. Run
 // under -race this also exercises the scheduler's concurrency.
+//
+// Metrics compare after StripHost, exactly as artifact builders
+// snapshot them: the sched_* families are real host observations
+// (worker count, queue waits) and legitimately differ across
+// -parallel — that host view belongs to the artifact's plan section,
+// not its deterministic metrics section.
 func TestParallelMatchesSequential(t *testing.T) {
 	seqRes, seqSnap, seqProf, seqSpans, seqInsp := planRun(t, 1)
 	parRes, parSnap, parProf, parSpans, parInsp := planRun(t, 4)
@@ -85,8 +91,28 @@ func TestParallelMatchesSequential(t *testing.T) {
 	if !bytes.Equal(seqRes, parRes) {
 		t.Errorf("results differ between parallel 1 and 4:\nseq: %s\npar: %s", seqRes, parRes)
 	}
-	seqSnapJSON, _ := json.Marshal(seqSnap)
-	parSnapJSON, _ := json.Marshal(parSnap)
+	// The live registry must carry scheduler telemetry before the
+	// strip (the /metrics satellite) ...
+	for _, snap := range []metrics.Snapshot{seqSnap, parSnap} {
+		if !hasSample(snap.Counters, "sched_units_total") {
+			t.Error("sched_units_total missing from live snapshot")
+		}
+		if !hasSample(snap.Gauges, "sched_workers") {
+			t.Error("sched_workers missing from live snapshot")
+		}
+		found := false
+		for _, h := range snap.Histograms {
+			if h.Name == "sched_queue_wait_seconds" {
+				found = true
+			}
+		}
+		if !found {
+			t.Error("sched_queue_wait_seconds missing from live snapshot")
+		}
+	}
+	// ... and byte-identity holds on the stripped view.
+	seqSnapJSON, _ := json.Marshal(seqSnap.StripHost())
+	parSnapJSON, _ := json.Marshal(parSnap.StripHost())
 	if !bytes.Equal(seqSnapJSON, parSnapJSON) {
 		t.Errorf("metrics snapshots differ:\nseq: %s\npar: %s", seqSnapJSON, parSnapJSON)
 	}
@@ -126,6 +152,60 @@ func TestPlanErrorPropagates(t *testing.T) {
 	}
 	if finals != 0 {
 		t.Errorf("finals ran despite error: %d", finals)
+	}
+}
+
+// hasSample reports whether a sample list carries the named family.
+func hasSample(samples []metrics.Sample, name string) bool {
+	for _, s := range samples {
+		if s.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// TestPlanHostSchedule: after Run, the plan exposes the host-cost
+// schedule — every unit timed and delivered on the effective pool —
+// and PlanReport derives a non-empty critical path and sane
+// efficiency figures. Before any run both are safely empty.
+func TestPlanHostSchedule(t *testing.T) {
+	o := shortOpts()
+	o.Parallel = 2
+	p := NewPlan(o)
+	if p.Schedule() != nil {
+		t.Fatal("schedule non-nil before run")
+	}
+	if r := p.PlanReport(); r == nil || len(r.Units) != 0 {
+		t.Fatalf("pre-run report = %+v, want empty", r)
+	}
+	for range [4]int{} {
+		addTyped(p, "unit",
+			func(Options) (int, error) { return 1, nil },
+			func(int) {})
+	}
+	if err := p.Run(); err != nil {
+		t.Fatal(err)
+	}
+	sc := p.Schedule()
+	if sc == nil || sc.Workers != 2 || len(sc.Units) != 4 {
+		t.Fatalf("schedule = %+v", sc)
+	}
+	for _, u := range sc.Units {
+		if !u.Started || !u.Delivered {
+			t.Fatalf("unit %d not fully timed: %+v", u.Index, u)
+		}
+	}
+	r := p.PlanReport()
+	if len(r.CriticalPath) == 0 {
+		t.Error("critical path empty after a successful run")
+	}
+	if r.MaxSpeedup <= 0 || r.ActualSpeedup <= 0 || r.Efficiency <= 0 {
+		t.Errorf("speedup figures not positive: max=%v actual=%v eff=%v",
+			r.MaxSpeedup, r.ActualSpeedup, r.Efficiency)
+	}
+	if len(r.WorkerBusySeconds) != 2 {
+		t.Errorf("WorkerBusySeconds = %v, want 2 rows", r.WorkerBusySeconds)
 	}
 }
 

@@ -53,6 +53,7 @@ import (
 	"hyperhammer/internal/obs"
 	"hyperhammer/internal/profile"
 	"hyperhammer/internal/runartifact"
+	"hyperhammer/internal/sched"
 	"hyperhammer/internal/trace"
 	"hyperhammer/internal/virtio"
 	"hyperhammer/internal/xenlite"
@@ -248,6 +249,37 @@ func NewCostProfiler(reg *MetricsRegistry) *CostProfiler {
 // registry).
 func CostProfileFromTrace(r io.Reader) (*CostProfile, error) {
 	return profile.FromTrace(r)
+}
+
+// HostSchedule is the host-cost record of one scheduled batch: which
+// worker ran each unit and when (host wall clock), plus the batch's
+// wall and CPU totals. experiments.Plan captures one per Run; it is
+// pure host observation and never feeds simulated output.
+type HostSchedule = sched.Schedule
+
+// PlanReport is the host-cost analysis derived from a HostSchedule:
+// per-unit timings and slack, the critical path, and the
+// parallel-efficiency figures. It is the artifact's `plan` section and
+// what /api/plan, hh-plan, and `hh-inspect plan` serve and render.
+type PlanReport = profile.PlanReport
+
+// BuildPlanReport derives the critical-path and parallel-efficiency
+// analysis from a batch schedule (nil-safe: returns an empty report).
+func BuildPlanReport(sc *HostSchedule) *PlanReport { return profile.BuildPlanReport(sc) }
+
+// RenderPlanReport writes the human view of a plan report — summary,
+// ASCII Gantt chart, worker-utilization bars, top-slack table — the
+// single renderer shared by hh-plan and hh-inspect plan. width bounds
+// the chart columns (0 picks a default).
+func RenderPlanReport(w io.Writer, r *PlanReport, width int) error {
+	return profile.RenderPlan(w, r, width)
+}
+
+// WriteChromeTrace exports a host schedule as Chrome trace_event JSON
+// (one track per worker plus the delivery track), loadable in Perfetto
+// or chrome://tracing.
+func WriteChromeTrace(w io.Writer, sc *HostSchedule) error {
+	return trace.WriteChromeTrace(w, sc)
 }
 
 // RunArtifact is the self-describing run bundle the CLIs write with

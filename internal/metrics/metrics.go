@@ -414,6 +414,48 @@ func (r *Registry) Snapshot() Snapshot {
 	return snap
 }
 
+// IsHostMetric reports whether a metric family measures the *host*
+// (scheduler telemetry: the sched_* families) rather than the
+// simulation. Host metrics are real wall-clock observations — they
+// differ run to run and across -parallel settings — so they are
+// served live (/metrics, Prometheus) but stripped from run artifacts'
+// deterministic metrics sections (see Snapshot.StripHost).
+func IsHostMetric(name string) bool {
+	return strings.HasPrefix(name, "sched_")
+}
+
+// StripHost returns a copy of the snapshot with every host metric
+// family removed (Help entries included). Artifact builders call this
+// so the metrics section stays byte-identical at any -parallel; the
+// host view lives in the artifact's plan section instead.
+func (s Snapshot) StripHost() Snapshot {
+	out := Snapshot{SimSeconds: s.SimSeconds}
+	for _, c := range s.Counters {
+		if !IsHostMetric(c.Name) {
+			out.Counters = append(out.Counters, c)
+		}
+	}
+	for _, g := range s.Gauges {
+		if !IsHostMetric(g.Name) {
+			out.Gauges = append(out.Gauges, g)
+		}
+	}
+	for _, h := range s.Histograms {
+		if !IsHostMetric(h.Name) {
+			out.Histograms = append(out.Histograms, h)
+		}
+	}
+	if s.Help != nil {
+		out.Help = make(map[string]string, len(s.Help))
+		for name, help := range s.Help {
+			if !IsHostMetric(name) {
+				out.Help[name] = help
+			}
+		}
+	}
+	return out
+}
+
 // Rows flattens the snapshot into (name, labels, kind, value) rows for
 // tabular rendering (it satisfies report.MetricsSnapshot without this
 // package importing report). Histograms are summarized as count/sum.

@@ -1,0 +1,76 @@
+package metrics
+
+import "testing"
+
+// TestStripHost: sched_* families vanish from the stripped snapshot —
+// counters, gauges, histograms, and help — while simulation families
+// survive untouched. This is the artifact builders' determinism
+// guarantee: host telemetry serves live but never lands in a
+// deterministic artifact section.
+func TestStripHost(t *testing.T) {
+	r := New()
+	r.Counter("dram_activations_total", "sim").Add(7)
+	r.Counter("sched_units_total", "host", "status", "delivered").Add(3)
+	r.Gauge("sched_workers", "host").Set(4)
+	r.Gauge("balloon_pages", "sim").Set(9)
+	r.Histogram("sched_queue_wait_seconds", "host", nil).Observe(0.5)
+	r.Histogram("attack_phase_seconds", "sim", nil).Observe(30)
+
+	full := r.Snapshot()
+	stripped := full.StripHost()
+
+	names := func(s Snapshot) map[string]bool {
+		m := map[string]bool{}
+		for _, c := range s.Counters {
+			m[c.Name] = true
+		}
+		for _, g := range s.Gauges {
+			m[g.Name] = true
+		}
+		for _, h := range s.Histograms {
+			m[h.Name] = true
+		}
+		return m
+	}
+	fullNames, strippedNames := names(full), names(stripped)
+	for _, host := range []string{"sched_units_total", "sched_workers", "sched_queue_wait_seconds"} {
+		if !fullNames[host] {
+			t.Errorf("%s missing from live snapshot", host)
+		}
+		if strippedNames[host] {
+			t.Errorf("%s survived StripHost", host)
+		}
+		if _, ok := stripped.Help[host]; ok {
+			t.Errorf("%s help survived StripHost", host)
+		}
+	}
+	for _, sim := range []string{"dram_activations_total", "balloon_pages", "attack_phase_seconds"} {
+		if !strippedNames[sim] {
+			t.Errorf("%s stripped although it is a sim metric", sim)
+		}
+		if _, ok := stripped.Help[sim]; !ok {
+			t.Errorf("%s help stripped", sim)
+		}
+	}
+	if stripped.SimSeconds != full.SimSeconds {
+		t.Errorf("SimSeconds changed: %v vs %v", stripped.SimSeconds, full.SimSeconds)
+	}
+	// The original snapshot is untouched.
+	if again := names(r.Snapshot()); !again["sched_workers"] {
+		t.Error("StripHost mutated the registry view")
+	}
+}
+
+// TestIsHostMetric pins the host-metric namespace to the sched_ prefix.
+func TestIsHostMetric(t *testing.T) {
+	for name, want := range map[string]bool{
+		"sched_units_total":     true,
+		"sched_workers":         true,
+		"dram_flips_total":      false,
+		"scheduler_like_prefix": false,
+	} {
+		if got := IsHostMetric(name); got != want {
+			t.Errorf("IsHostMetric(%q) = %v, want %v", name, got, want)
+		}
+	}
+}

@@ -47,6 +47,7 @@ type Plane struct {
 	artifact  func() any
 	inspector *inspect.Inspector
 	forensics *forensics.Recorder
+	plan      func() *profile.PlanReport
 }
 
 // NewPlane creates a plane over reg (which may be nil: the plane then
@@ -243,6 +244,40 @@ func (p *Plane) Forensics() *forensics.Recorder {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.forensics
+}
+
+// SetPlanFunc installs the callback /api/plan serves: the host-cost
+// schedule analysis of the current batch. The CLIs hand in a closure
+// (e.g. experiments.Plan.PlanReport) so the report reflects whatever
+// has been scheduled by request time. A nil fn (or never calling
+// this) makes the endpoint serve an empty-but-schema-valid report.
+// Safe on a nil receiver.
+func (p *Plane) SetPlanFunc(fn func() *profile.PlanReport) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.plan = fn
+	p.mu.Unlock()
+}
+
+// PlanReport returns the installed plan callback's current report,
+// never nil: without a callback (or when it returns nil) the empty
+// report is served, so handlers and pollers never guard.
+func (p *Plane) PlanReport() *profile.PlanReport {
+	if p == nil {
+		return profile.EmptyPlanReport()
+	}
+	p.mu.Lock()
+	fn := p.plan
+	p.mu.Unlock()
+	if fn == nil {
+		return profile.EmptyPlanReport()
+	}
+	if r := fn(); r != nil {
+		return r
+	}
+	return profile.EmptyPlanReport()
 }
 
 // KeepAlive returns the SSE keepalive interval.

@@ -29,6 +29,10 @@ import (
 //	/api/alerts    fired watchpoint alerts (totals, per-rule, ring)
 //	/api/forensics flip-provenance snapshot: per-attempt flip lineage,
 //	               verdict/owner taxonomies, campaign outcomes
+//	/api/plan      host-cost schedule analysis of the current batch:
+//	               per-unit host timings, critical path, parallel
+//	               efficiency (empty-but-valid until a CLI installs a
+//	               plan source)
 //	/debug/pprof/  the standard Go profiler endpoints (wall-clock; the
 //	               simulation's own profile is /api/profile)
 type Server struct {
@@ -61,6 +65,7 @@ func (p *Plane) Serve(addr string) (*Server, error) {
 	mux.HandleFunc("/api/census", s.handleCensus)
 	mux.HandleFunc("/api/alerts", s.handleAlerts)
 	mux.HandleFunc("/api/forensics", s.handleForensics)
+	mux.HandleFunc("/api/plan", s.handlePlan)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -190,6 +195,13 @@ func (s *Server) handleAlerts(w http.ResponseWriter, _ *http.Request) {
 // arrays are [] and never null.
 func (s *Server) handleForensics(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, s.plane.Forensics().Snapshot())
+}
+
+// handlePlan serves the host-cost schedule report. PlanReport is
+// never nil, so the shape contract holds with no plan source
+// installed: arrays are [] and never null.
+func (s *Server) handlePlan(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, s.plane.PlanReport())
 }
 
 // handleEvents streams the bus over SSE: the replay ring first, then

@@ -9,6 +9,7 @@ import (
 	"hyperhammer/internal/benchfmt"
 	"hyperhammer/internal/forensics"
 	"hyperhammer/internal/inspect"
+	"hyperhammer/internal/profile"
 	"hyperhammer/internal/report"
 )
 
@@ -29,17 +30,30 @@ type Tolerances struct {
 	// BenchFrac bounds benchmark ns/op drift relative to the old
 	// value; other bench metrics are informational only.
 	BenchFrac float64
+	// HostFrac/HostAbs bound the plan section's host-time figures
+	// (wall seconds, per-unit run times, critical path). Host time is
+	// real wall clock — noisy by nature and legitimately different
+	// across -parallel settings — so the default is HostFrac = 1.0,
+	// which under the max(|a|,|b|)-relative rule never flags
+	// non-negative durations: plan durations are listed for the
+	// record, and only gate when the caller tightens -host-tol. The
+	// plan's *shape* (unit count, per-unit presence) always compares
+	// at the exact count tolerance.
+	HostFrac float64
+	HostAbs  float64
 }
 
-// DefaultTolerances: exact on everything simulated, ±30% on ns/op.
+// DefaultTolerances: exact on everything simulated, ±30% on ns/op,
+// host durations listed but not gated.
 func DefaultTolerances() Tolerances {
-	return Tolerances{BenchFrac: 0.30}
+	return Tolerances{BenchFrac: 0.30, HostFrac: 1.0}
 }
 
 // Delta is one compared figure.
 type Delta struct {
 	// Kind groups the row: "run" (headline), "phase" (profile path),
-	// "counter", "outcome", "heatmap", "census", "alerts", or "bench".
+	// "counter", "outcome", "heatmap", "census", "alerts", "plan", or
+	// "bench".
 	Kind string `json:"kind"`
 	// Key identifies the figure within its kind (span path, metric
 	// name+labels, benchmark name).
@@ -177,10 +191,71 @@ func Compare(a, b *Artifact, tol Tolerances) *Diff {
 		}
 	}
 
+	// The plan section (host-cost schedule) compares only when both
+	// artifacts carry one (like bench): shape and counts exactly
+	// (under the count tolerance), durations loosely (under the host
+	// tolerance, which defaults to never-flag).
+	if a.Plan != nil && b.Plan != nil {
+		sa, sb := planShapeMap(a.Plan), planShapeMap(b.Plan)
+		for _, key := range unionKeys(sa, sb) {
+			add("plan", key, sa[key], sb[key], tol.CountFrac, tol.CountAbs)
+		}
+		ha, hb := planHostMap(a.Plan), planHostMap(b.Plan)
+		for _, key := range unionKeys(ha, hb) {
+			add("plan", key, ha[key], hb[key], tol.HostFrac, tol.HostAbs)
+		}
+	}
+
 	if a.Bench != nil && b.Bench != nil {
 		benchDeltas(d, a.Bench, b.Bench, tol)
 	}
 	return d
+}
+
+// planShapeMap flattens a plan report's deterministic shape: how many
+// units were scheduled, and that each declared unit ran and was
+// delivered. These must agree exactly across runs of the same matrix
+// regardless of -parallel (the worker count itself is configuration,
+// not shape, so it is compared as a host figure).
+func planShapeMap(p *profile.PlanReport) map[string]float64 {
+	m := map[string]float64{}
+	if p == nil {
+		return m
+	}
+	m["units"] = float64(len(p.Units))
+	for _, u := range p.Units {
+		b2f := func(b bool) float64 {
+			if b {
+				return 1
+			}
+			return 0
+		}
+		m["unit["+u.Name+"].started"] = b2f(u.Started)
+		m["unit["+u.Name+"].delivered"] = b2f(u.Delivered)
+	}
+	return m
+}
+
+// planHostMap flattens a plan report's host-time figures: headline
+// costs, the efficiency line, and per-unit run durations.
+func planHostMap(p *profile.PlanReport) map[string]float64 {
+	m := map[string]float64{}
+	if p == nil {
+		return m
+	}
+	m["host workers"] = float64(p.Workers)
+	m["host wall_seconds"] = p.WallSeconds
+	m["host cpu_seconds"] = p.CPUSeconds
+	m["host busy_seconds"] = p.BusySeconds
+	m["host sequential_seconds"] = p.SequentialSeconds
+	m["host critical_path_seconds"] = p.CriticalPathSeconds
+	m["host max_speedup"] = p.MaxSpeedup
+	m["host actual_speedup"] = p.ActualSpeedup
+	m["host efficiency"] = p.Efficiency
+	for _, u := range p.Units {
+		m["host unit["+u.Name+"].run_seconds"] = u.RunSeconds
+	}
+	return m
 }
 
 // heatmapMap flattens a heatmap snapshot to comparison keys: the

@@ -85,6 +85,14 @@ type Artifact struct {
 	// owner taxonomies, and campaign outcome tables. cmd/hh-why reads
 	// this section offline; hh-diff compares it at zero tolerance.
 	Forensics *forensics.Snapshot `json:"forensics,omitempty"`
+	// Plan embeds the host-cost schedule analysis (per-unit host
+	// timings, critical path, parallel efficiency). Unlike every other
+	// section it measures the *host*, so it is the one part of the
+	// artifact that legitimately differs across runs and -parallel
+	// settings; hh-diff checks its shape exactly but its durations only
+	// loosely (Tolerances.HostFrac). hh-plan and hh-inspect plan render
+	// it offline.
+	Plan *profile.PlanReport `json:"plan,omitempty"`
 }
 
 // SetInspector embeds the inspector's three snapshots; a nil inspector
@@ -108,6 +116,14 @@ func (a *Artifact) SetForensics(r *forensics.Recorder) {
 	}
 	s := r.Snapshot()
 	a.Forensics = &s
+}
+
+// SetPlan embeds the host-cost plan report; a nil report leaves the
+// artifact without a plan section.
+func (a *Artifact) SetPlan(p *profile.PlanReport) {
+	if p != nil {
+		a.Plan = p
+	}
 }
 
 // New returns an artifact shell with the identifying fields set.

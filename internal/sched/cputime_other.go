@@ -1,0 +1,7 @@
+//go:build !unix
+
+package sched
+
+// cpuSeconds has no portable implementation off unix; schedules carry
+// CPUSeconds == 0 there and consumers treat it as "unavailable".
+func cpuSeconds() float64 { return 0 }

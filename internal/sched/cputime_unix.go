@@ -1,0 +1,20 @@
+//go:build unix
+
+package sched
+
+import "syscall"
+
+// cpuSeconds returns the process's cumulative CPU time (user + system)
+// in seconds. RunTimed uses the delta across a batch as the host-CPU
+// figure; 0 on error keeps the schedule usable.
+func cpuSeconds() float64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return timevalSeconds(ru.Utime) + timevalSeconds(ru.Stime)
+}
+
+func timevalSeconds(tv syscall.Timeval) float64 {
+	return float64(tv.Sec) + float64(tv.Usec)/1e6
+}

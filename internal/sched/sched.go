@@ -30,6 +30,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Unit is one independent piece of work. Run's return value is handed
@@ -73,27 +74,63 @@ type result struct {
 // their results past the failure point are discarded. Errors are
 // returned as produced, without additional wrapping.
 func (r *Runner) Run(units []Unit, deliver func(i int, v any) error) error {
+	_, err := r.RunTimed(units, deliver)
+	return err
+}
+
+// RunTimed is Run plus host-cost telemetry: it records, for every
+// unit, which worker ran it and when (wall clock, relative to batch
+// start), when it was delivered, and the process CPU consumed across
+// the whole batch. Timing is pure observation — timestamps are taken
+// around the existing engine without adding any synchronization on
+// the delivery path, so the determinism contract (index-ordered
+// delivery, first-declared-error) is untouched.
+//
+// The returned Schedule is always non-nil, even when the batch failed:
+// units that never started carry Worker == -1 and Started == false.
+func (r *Runner) RunTimed(units []Unit, deliver func(i int, v any) error) (*Schedule, error) {
+	sc := &Schedule{Units: make([]UnitTiming, len(units))}
+	for i := range sc.Units {
+		sc.Units[i] = UnitTiming{Index: i, Name: units[i].Name, Worker: -1}
+	}
 	if len(units) == 0 {
-		return nil
+		return sc, nil
 	}
 	workers := r.workers
 	if workers > len(units) {
 		workers = len(units)
 	}
+	sc.Workers = workers
+	start := time.Now()
+	cpu0 := cpuSeconds()
+	since := func() float64 { return time.Since(start).Seconds() }
+	finish := func(err error) (*Schedule, error) {
+		sc.WallSeconds = since()
+		sc.CPUSeconds = cpuSeconds() - cpu0
+		return sc, err
+	}
 	if workers <= 1 {
 		// Sequential fast path: same contract, no goroutines.
 		for i, u := range units {
+			ut := &sc.Units[i]
+			ut.Worker, ut.Started = 0, true
+			ut.StartSeconds = since()
 			v, err := u.Run()
+			ut.EndSeconds = since()
 			if err != nil {
-				return err
+				return finish(err)
 			}
+			ut.DeliverStartSeconds = ut.EndSeconds
 			if deliver != nil {
 				if err := deliver(i, v); err != nil {
-					return err
+					ut.DeliverEndSeconds = since()
+					return finish(err)
 				}
 			}
+			ut.DeliverEndSeconds = since()
+			ut.Delivered = true
 		}
-		return nil
+		return finish(nil)
 	}
 
 	var stop atomic.Bool
@@ -113,10 +150,19 @@ func (r *Runner) Run(units []Unit, deliver func(i int, v any) error) error {
 
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
+		w := w
 		go func() {
 			defer wg.Done()
 			for i := range feed {
+				// Each timing slot is written by exactly one worker and
+				// read only after its result crosses the channel (or
+				// after the channel closes), so no lock is needed and
+				// delivery never waits on instrumentation.
+				ut := &sc.Units[i]
+				ut.Worker, ut.Started = w, true
+				ut.StartSeconds = since()
 				v, err := units[i].Run()
+				ut.EndSeconds = since()
 				if err != nil {
 					stop.Store(true)
 				}
@@ -146,6 +192,8 @@ func (r *Runner) Run(units []Unit, deliver func(i int, v any) error) error {
 			}
 			delete(pending, next)
 			next++
+			ut := &sc.Units[cur.i]
+			ut.DeliverStartSeconds = since()
 			if deliver != nil {
 				if err := deliver(cur.i, cur.v); err != nil {
 					// A deliver failure at this index outranks any unit
@@ -154,10 +202,13 @@ func (r *Runner) Run(units []Unit, deliver func(i int, v any) error) error {
 					stop.Store(true)
 					errIdx = cur.i
 					firstErr = err
+					ut.DeliverEndSeconds = since()
 					break
 				}
 			}
+			ut.DeliverEndSeconds = since()
+			ut.Delivered = true
 		}
 	}
-	return firstErr
+	return finish(firstErr)
 }

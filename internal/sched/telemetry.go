@@ -1,0 +1,91 @@
+package sched
+
+// Host-cost telemetry types. All timestamps are host wall-clock
+// seconds relative to the batch's start, captured by RunTimed. They
+// describe where *host* time went — the simulated clock is a different
+// axis entirely — so none of these figures may ever be folded into
+// simulated output (see the DESIGN fidelity rules).
+
+// UnitTiming is one unit's host-side schedule record.
+type UnitTiming struct {
+	// Index is the unit's declaration index; Name its display name.
+	Index int    `json:"index"`
+	Name  string `json:"name"`
+	// Worker is the pool slot that ran the unit (-1 if it never
+	// started, e.g. because an earlier unit failed).
+	Worker int `json:"worker"`
+	// StartSeconds..EndSeconds bracket the unit's Run call.
+	StartSeconds float64 `json:"startSeconds"`
+	EndSeconds   float64 `json:"endSeconds"`
+	// DeliverStartSeconds..DeliverEndSeconds bracket the deliver
+	// callback (telemetry merge + result store), which runs on the
+	// caller's goroutine in index order.
+	DeliverStartSeconds float64 `json:"deliverStartSeconds"`
+	DeliverEndSeconds   float64 `json:"deliverEndSeconds"`
+	// Started and Delivered record how far the unit got; on a failed
+	// batch trailing units may be neither.
+	Started   bool `json:"started"`
+	Delivered bool `json:"delivered"`
+}
+
+// RunSeconds is the unit's host wall-clock execution time.
+func (u UnitTiming) RunSeconds() float64 { return u.EndSeconds - u.StartSeconds }
+
+// QueueWaitSeconds is how long the unit sat declared-but-unstarted:
+// every unit is registered before the batch starts, so the wait is
+// simply its start offset.
+func (u UnitTiming) QueueWaitSeconds() float64 { return u.StartSeconds }
+
+// DeliverHoldSeconds is how long the completed unit's result waited
+// for every earlier unit to be delivered (the price of index-ordered
+// determinism).
+func (u UnitTiming) DeliverHoldSeconds() float64 {
+	if !u.Delivered {
+		return 0
+	}
+	return u.DeliverStartSeconds - u.EndSeconds
+}
+
+// DeliverSeconds is the host time spent inside the deliver callback.
+func (u UnitTiming) DeliverSeconds() float64 {
+	return u.DeliverEndSeconds - u.DeliverStartSeconds
+}
+
+// Schedule is the whole batch's host-side execution record.
+type Schedule struct {
+	// Workers is the effective pool size (min of the runner's size and
+	// the unit count).
+	Workers int `json:"workers"`
+	// WallSeconds is the batch's host wall-clock duration;
+	// CPUSeconds the process CPU (user+system) consumed across it.
+	// CPU is process-wide — Go offers no per-goroutine CPU clock — so
+	// it includes whatever else the process did meanwhile.
+	WallSeconds float64 `json:"wallSeconds"`
+	CPUSeconds  float64 `json:"cpuSeconds"`
+	// Units is the per-unit timing table, in declaration order.
+	Units []UnitTiming `json:"units"`
+}
+
+// BusySeconds sums every started unit's run time: the work the pool
+// actually executed, regardless of how it was spread across workers.
+func (s *Schedule) BusySeconds() float64 {
+	var t float64
+	for _, u := range s.Units {
+		if u.Started {
+			t += u.RunSeconds()
+		}
+	}
+	return t
+}
+
+// WorkerBusySeconds returns per-worker busy time (indexed by worker
+// slot): the occupancy timeline's row sums.
+func (s *Schedule) WorkerBusySeconds() []float64 {
+	busy := make([]float64, s.Workers)
+	for _, u := range s.Units {
+		if u.Started && u.Worker >= 0 && u.Worker < len(busy) {
+			busy[u.Worker] += u.RunSeconds()
+		}
+	}
+	return busy
+}

@@ -1,0 +1,208 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestRunTimedSchedule: a successful parallel batch yields a complete
+// schedule — every unit started and delivered, timestamps ordered,
+// worker slots within the pool, wall clock covering the whole span.
+func TestRunTimedSchedule(t *testing.T) {
+	const n, workers = 12, 3
+	units := make([]Unit, n)
+	for i := range units {
+		units[i] = Unit{Name: fmt.Sprintf("u%d", i), Run: func() (any, error) {
+			time.Sleep(time.Millisecond)
+			return nil, nil
+		}}
+	}
+	sc, err := New(workers).RunTimed(units, func(i int, v any) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Workers != workers {
+		t.Fatalf("Workers = %d, want %d", sc.Workers, workers)
+	}
+	if len(sc.Units) != n {
+		t.Fatalf("schedule has %d units, want %d", len(sc.Units), n)
+	}
+	for _, u := range sc.Units {
+		if !u.Started || !u.Delivered {
+			t.Fatalf("unit %d: started=%v delivered=%v", u.Index, u.Started, u.Delivered)
+		}
+		if u.Worker < 0 || u.Worker >= workers {
+			t.Fatalf("unit %d ran on worker %d, pool is %d", u.Index, u.Worker, workers)
+		}
+		if u.EndSeconds < u.StartSeconds {
+			t.Fatalf("unit %d: end %v before start %v", u.Index, u.EndSeconds, u.StartSeconds)
+		}
+		if u.DeliverStartSeconds < u.EndSeconds {
+			t.Fatalf("unit %d: delivered at %v before finishing at %v", u.Index, u.DeliverStartSeconds, u.EndSeconds)
+		}
+		if u.DeliverEndSeconds < u.DeliverStartSeconds {
+			t.Fatalf("unit %d: deliver end %v before deliver start %v", u.Index, u.DeliverEndSeconds, u.DeliverStartSeconds)
+		}
+		if u.RunSeconds() <= 0 {
+			t.Fatalf("unit %d: run time %v, slept a millisecond", u.Index, u.RunSeconds())
+		}
+	}
+	// Delivery is index-ordered, so deliver starts must be
+	// monotonically non-decreasing in index order.
+	for i := 1; i < n; i++ {
+		if sc.Units[i].DeliverStartSeconds < sc.Units[i-1].DeliverStartSeconds {
+			t.Fatalf("unit %d delivered before unit %d", i, i-1)
+		}
+	}
+	if sc.WallSeconds <= 0 {
+		t.Fatalf("WallSeconds = %v", sc.WallSeconds)
+	}
+	if last := sc.Units[n-1].DeliverEndSeconds; sc.WallSeconds < last {
+		t.Fatalf("WallSeconds %v shorter than last delivery %v", sc.WallSeconds, last)
+	}
+	if sc.BusySeconds() <= 0 {
+		t.Fatalf("BusySeconds = %v", sc.BusySeconds())
+	}
+	busy := sc.WorkerBusySeconds()
+	if len(busy) != workers {
+		t.Fatalf("WorkerBusySeconds has %d rows, want %d", len(busy), workers)
+	}
+	var total float64
+	for _, b := range busy {
+		total += b
+	}
+	if diff := total - sc.BusySeconds(); diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("per-worker busy %v != total busy %v", total, sc.BusySeconds())
+	}
+}
+
+// TestRunTimedEffectiveWorkers: the recorded pool size is the
+// effective one — capped at the unit count.
+func TestRunTimedEffectiveWorkers(t *testing.T) {
+	units := []Unit{
+		{Name: "a", Run: func() (any, error) { return nil, nil }},
+		{Name: "b", Run: func() (any, error) { return nil, nil }},
+	}
+	sc, err := New(8).RunTimed(units, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Workers != 2 {
+		t.Fatalf("Workers = %d, want 2 (capped at unit count)", sc.Workers)
+	}
+}
+
+// TestFirstDeclaredErrorWinsAcrossHostTime: unit 7 fails *immediately*
+// in host time while unit 2 fails only after a long sleep — the
+// declared order, not the host completion order, decides which error
+// is reported. This is the cancellation contract the host-timing
+// instrumentation must not disturb.
+func TestFirstDeclaredErrorWinsAcrossHostTime(t *testing.T) {
+	errEarlyIndex := errors.New("unit 2 (late in host time)")
+	errLateIndex := errors.New("unit 7 (early in host time)")
+	units := make([]Unit, 10)
+	for i := range units {
+		i := i
+		units[i] = Unit{Name: fmt.Sprintf("u%d", i), Run: func() (any, error) {
+			switch i {
+			case 7:
+				return nil, errLateIndex // fails first on the host clock
+			case 2:
+				time.Sleep(20 * time.Millisecond)
+				return nil, errEarlyIndex // fails first in declared order
+			default:
+				time.Sleep(time.Millisecond)
+				return i, nil
+			}
+		}}
+	}
+	sc, err := New(10).RunTimed(units, nil)
+	if !errors.Is(err, errEarlyIndex) {
+		t.Fatalf("err = %v, want the declared-first failure (unit 2)", err)
+	}
+	// The schedule must corroborate: unit 7's failure really did land
+	// earlier on the host clock than unit 2's.
+	if sc.Units[7].EndSeconds >= sc.Units[2].EndSeconds {
+		t.Skipf("scheduling noise: unit 7 finished at %v, unit 2 at %v — race not exercised",
+			sc.Units[7].EndSeconds, sc.Units[2].EndSeconds)
+	}
+}
+
+// TestTimingNeverBlocksDelivery: with instrumentation active, delivery
+// order is still strictly 0..n-1 under heavy completion reordering.
+// Run with -race to check the lock-free timing writes.
+func TestTimingNeverBlocksDelivery(t *testing.T) {
+	const n = 80
+	units := make([]Unit, n)
+	for i := range units {
+		i := i
+		units[i] = Unit{Name: fmt.Sprintf("u%d", i), Run: func() (any, error) {
+			// Reverse-staircase sleeps: later units finish first, so
+			// every delivery is held behind an earlier in-flight unit.
+			time.Sleep(time.Duration((n-i)%8) * 300 * time.Microsecond)
+			return i, nil
+		}}
+	}
+	var got []int
+	sc, err := New(8).RunTimed(units, func(i int, v any) error {
+		got = append(got, v.(int))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("delivery %d carried %d: ordering broken", i, v)
+		}
+	}
+	// Held results must show the hold in telemetry without having
+	// perturbed the order: deliver-hold is never negative.
+	for _, u := range sc.Units {
+		if u.DeliverHoldSeconds() < 0 {
+			t.Fatalf("unit %d: negative deliver hold %v", u.Index, u.DeliverHoldSeconds())
+		}
+	}
+}
+
+// TestRunTimedFailureSchedule: on a failed batch the schedule still
+// comes back, with unstarted units marked Worker == -1.
+func TestRunTimedFailureSchedule(t *testing.T) {
+	errBoom := errors.New("boom")
+	const n = 50
+	units := make([]Unit, n)
+	for i := range units {
+		i := i
+		units[i] = Unit{Name: fmt.Sprintf("u%d", i), Run: func() (any, error) {
+			if i == 1 {
+				return nil, errBoom
+			}
+			time.Sleep(5 * time.Millisecond)
+			return i, nil
+		}}
+	}
+	sc, err := New(2).RunTimed(units, nil)
+	if !errors.Is(err, errBoom) {
+		t.Fatalf("err = %v, want errBoom", err)
+	}
+	if sc == nil {
+		t.Fatal("schedule is nil on failure")
+	}
+	var unstarted int
+	for _, u := range sc.Units {
+		if !u.Started {
+			unstarted++
+			if u.Worker != -1 {
+				t.Fatalf("unstarted unit %d carries worker %d", u.Index, u.Worker)
+			}
+		}
+		if u.Index >= 1 && u.Delivered {
+			t.Fatalf("unit %d delivered past the failure point", u.Index)
+		}
+	}
+	if unstarted == 0 {
+		t.Fatal("early failure should leave trailing units unstarted")
+	}
+}

@@ -1,0 +1,98 @@
+package trace
+
+// Chrome trace_event export for the host-cost scheduler telemetry:
+// turns a sched.Schedule into the JSON object format Perfetto and
+// chrome://tracing load directly — one track (thread) per worker plus
+// a "deliver" track for the index-ordered delivery chain. This is a
+// host-time view; the JSONL sim trace is a different clock entirely.
+
+import (
+	"encoding/json"
+	"io"
+	"strconv"
+
+	"hyperhammer/internal/sched"
+)
+
+// chromeEvent is one trace_event record. Only the fields the viewers
+// require: ph "M" metadata (process/thread names) and ph "X" complete
+// events with microsecond ts/dur.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Ts   float64        `json:"ts,omitempty"`
+	Dur  float64        `json:"dur,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the top-level JSON object format.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace writes sc as Chrome trace_event JSON. Worker w's
+// units land on tid w; deliveries land on the extra track tid ==
+// sc.Workers, where the serialized delivery chain is visible as one
+// contiguous lane. Timestamps are microseconds from batch start. Safe
+// on a nil schedule (writes a valid empty trace).
+func WriteChromeTrace(w io.Writer, sc *sched.Schedule) error {
+	ct := chromeTrace{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ms"}
+	if sc != nil {
+		const pid = 1
+		ct.TraceEvents = append(ct.TraceEvents, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: pid,
+			Args: map[string]any{"name": "hyperhammer sched"},
+		})
+		for wi := 0; wi < sc.Workers; wi++ {
+			ct.TraceEvents = append(ct.TraceEvents, chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: pid, Tid: wi,
+				Args: map[string]any{"name": workerName(wi)},
+			})
+		}
+		ct.TraceEvents = append(ct.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: pid, Tid: sc.Workers,
+			Args: map[string]any{"name": "deliver"},
+		})
+		for _, u := range sc.Units {
+			if !u.Started {
+				continue
+			}
+			ct.TraceEvents = append(ct.TraceEvents, chromeEvent{
+				Name: u.Name, Ph: "X", Pid: pid, Tid: u.Worker,
+				Ts:  u.StartSeconds * 1e6,
+				Dur: clampNonNeg(u.RunSeconds()) * 1e6,
+				Args: map[string]any{
+					"index":            u.Index,
+					"queueWaitSeconds": u.QueueWaitSeconds(),
+				},
+			})
+			if u.Delivered {
+				ct.TraceEvents = append(ct.TraceEvents, chromeEvent{
+					Name: "deliver " + u.Name, Ph: "X", Pid: pid, Tid: sc.Workers,
+					Ts:  u.DeliverStartSeconds * 1e6,
+					Dur: clampNonNeg(u.DeliverSeconds()) * 1e6,
+					Args: map[string]any{
+						"index":              u.Index,
+						"deliverHoldSeconds": u.DeliverHoldSeconds(),
+					},
+				})
+			}
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(ct)
+}
+
+func workerName(w int) string {
+	return "worker " + strconv.Itoa(w)
+}
+
+func clampNonNeg(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	return v
+}

@@ -1,0 +1,106 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"hyperhammer/internal/sched"
+)
+
+// TestWriteChromeTraceSchema: output is valid trace_event JSON — the
+// object format with a traceEvents array, every event ph "X" or "M",
+// complete events carrying non-negative microsecond ts/dur, one thread
+// per worker plus the deliver track.
+func TestWriteChromeTraceSchema(t *testing.T) {
+	sc := &sched.Schedule{
+		Workers:     2,
+		WallSeconds: 0.3,
+		Units: []sched.UnitTiming{
+			{Index: 0, Name: "a", Worker: 0, StartSeconds: 0, EndSeconds: 0.1,
+				DeliverStartSeconds: 0.1, DeliverEndSeconds: 0.12, Started: true, Delivered: true},
+			{Index: 1, Name: "b", Worker: 1, StartSeconds: 0, EndSeconds: 0.25,
+				DeliverStartSeconds: 0.25, DeliverEndSeconds: 0.3, Started: true, Delivered: true},
+			{Index: 2, Name: "never", Worker: -1}, // unstarted: no events
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, sc); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("not valid JSON: %v\n%s", err, buf.String())
+	}
+	if parsed.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", parsed.DisplayTimeUnit)
+	}
+	threads := map[int]string{}
+	var complete, meta int
+	for _, ev := range parsed.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			meta++
+			if ev.Name == "thread_name" {
+				threads[ev.Tid] = ev.Args["name"].(string)
+			}
+		case "X":
+			complete++
+			if ev.Ts < 0 || ev.Dur < 0 {
+				t.Fatalf("negative ts/dur in %+v", ev)
+			}
+			if ev.Pid != 1 {
+				t.Fatalf("pid = %d", ev.Pid)
+			}
+		default:
+			t.Fatalf("unexpected ph %q", ev.Ph)
+		}
+	}
+	// worker 0, worker 1, deliver.
+	if len(threads) != 3 || threads[0] != "worker 0" || threads[1] != "worker 1" || threads[2] != "deliver" {
+		t.Fatalf("thread tracks = %v", threads)
+	}
+	// 2 started units × (run + deliver) = 4 complete events; the
+	// unstarted unit contributes none.
+	if complete != 4 {
+		t.Fatalf("complete events = %d, want 4", complete)
+	}
+	if meta != 4 { // process_name + 3 thread_names
+		t.Fatalf("metadata events = %d, want 4", meta)
+	}
+	// Spot-check microsecond conversion: unit b ran 0→0.25s = 250000us.
+	for _, ev := range parsed.TraceEvents {
+		if ev.Ph == "X" && ev.Name == "b" {
+			if ev.Dur < 249999 || ev.Dur > 250001 {
+				t.Fatalf("unit b dur = %v us, want 250000", ev.Dur)
+			}
+		}
+	}
+}
+
+// TestWriteChromeTraceNil: a nil schedule still writes a valid, empty
+// trace object.
+func TestWriteChromeTraceNil(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	var parsed map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatal(err)
+	}
+	if evs, ok := parsed["traceEvents"].([]any); !ok || len(evs) != 0 {
+		t.Fatalf("nil schedule trace: %s", buf.String())
+	}
+}
