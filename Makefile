@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race vet lint bench bench-short bench-verify tables demo fuzz profile-gate parallel-gate clean
+.PHONY: all build test test-short test-race vet lint bench bench-short bench-verify tables demo fuzz profile-gate parallel-gate history-gate clean
 
 all: build vet test
 
@@ -101,6 +101,27 @@ parallel-gate:
 	grep -q '"criticalPath"' par.json
 	bin/hh-plan -artifact par.json > /dev/null
 	rm -f seq.trace par.trace seq.json par.json seq.txt par.txt par_chrome.json
+
+# Run-history gate: two identical short runs ingested into a fresh
+# store must trend with zero simulated-figure drift (hh-trend exit 0);
+# a third run with a different hammer budget must be flagged (exit 1),
+# attributed to that run, and classified as config drift. The
+# campaigns' own exit statuses are ignored (2 attempts rarely escape;
+# the artifact is ingested on every exit path).
+history-gate:
+	$(GO) build -o bin/ ./cmd/hyperhammer ./cmd/hh-trend ./cmd/hh-inspect
+	rm -rf history_store
+	bin/hyperhammer -short -attempts 2 -store history_store > /dev/null || true
+	bin/hyperhammer -short -attempts 2 -store history_store > /dev/null || true
+	bin/hh-trend -store history_store
+	bin/hyperhammer -short -attempts 2 -hammer-rounds 400000 -store history_store > /dev/null || true
+	if bin/hh-trend -store history_store > history_drift.txt; then \
+		echo "history-gate: hh-trend failed to flag the perturbed run"; cat history_drift.txt; exit 1; fi
+	grep -q 'DRIFT (config)' history_drift.txt
+	grep -q '000003-' history_drift.txt
+	bin/hh-inspect history history_store > /dev/null
+	rm -rf history_store history_drift.txt
+	@echo "history-gate: determinism held across identical runs; drift attributed"
 
 # Brief fuzzing pass over the fuzz targets.
 fuzz:

@@ -75,6 +75,9 @@ func main() {
 	var d *runartifact.Diff
 	switch {
 	case artOld != nil && artNew != nil:
+		if notice := configNotice(artOld, artNew); notice != "" {
+			fmt.Println(notice)
+		}
 		d = runartifact.Compare(artOld, artNew, tol)
 	case benchOld != nil && benchNew != nil:
 		d = runartifact.CompareBench(benchOld, benchNew, tol)
@@ -89,6 +92,26 @@ func main() {
 	if d.Regressed() {
 		os.Exit(1)
 	}
+}
+
+// configNotice returns the one-line context printed when the two runs
+// claim different simulated inputs: figure drift is then expected
+// configuration divergence, not necessarily a regression. Empty for
+// same-config comparisons, and never a gating change — the tolerances
+// still decide the exit status alone. Hashes are recomputed for
+// artifacts written before the header carried them.
+func configNotice(a, b *runartifact.Artifact) string {
+	oldHash, newHash := a.ConfigHash, b.ConfigHash
+	if oldHash == "" {
+		oldHash = a.ComputeConfigHash()
+	}
+	if newHash == "" {
+		newHash = b.ComputeConfigHash()
+	}
+	if oldHash == newHash {
+		return ""
+	}
+	return fmt.Sprintf("comparing same-config runs? no (config %s vs %s): expect figure drift from the config change", oldHash, newHash)
 }
 
 // load reads path as a run artifact or a benchmark document. Exactly

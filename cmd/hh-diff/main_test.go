@@ -5,6 +5,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"hyperhammer/internal/runartifact"
 )
 
 func writeTemp(t *testing.T, name, content string) string {
@@ -87,6 +89,40 @@ func TestLoadFutureArtifactVersion(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), "newer than supported") {
 		t.Errorf("error %q does not report the version mismatch", err)
+	}
+}
+
+// TestConfigNotice: the same-config context line appears exactly when
+// the runs' deterministic config hashes differ, including for
+// artifacts written before the header carried a hash.
+func TestConfigNotice(t *testing.T) {
+	mk := func(rounds string) *runartifact.Artifact {
+		a := runartifact.New("hyperhammer", 4, "short")
+		a.Config["hammer-rounds"] = rounds
+		return a
+	}
+	if got := configNotice(mk("150000"), mk("150000")); got != "" {
+		t.Errorf("same-config comparison produced a notice: %q", got)
+	}
+	got := configNotice(mk("150000"), mk("400000"))
+	if !strings.Contains(got, "comparing same-config runs? no") {
+		t.Errorf("different-config notice missing: %q", got)
+	}
+
+	// Stamped headers win over recomputation; a pre-hash artifact
+	// (empty header field) is hashed on the fly and still matches.
+	stamped := mk("150000")
+	stamped.Stamp()
+	if got := configNotice(stamped, mk("150000")); got != "" {
+		t.Errorf("stamped-vs-legacy same-config comparison produced a notice: %q", got)
+	}
+
+	// Host-only config keys never trigger the notice (they are
+	// excluded from the hash by design).
+	hostOnly := mk("150000")
+	hostOnly.Config["parallel"] = "8"
+	if got := configNotice(mk("150000"), hostOnly); got != "" {
+		t.Errorf("host-only config change produced a notice: %q", got)
 	}
 }
 

@@ -10,7 +10,9 @@
 // forensics subcommand renders the artifact's flip-provenance section
 // (the same summary hh-why prints). The plan subcommand renders the
 // artifact's host-cost schedule — Gantt chart, worker utilization,
-// critical path — through the same renderer as hh-plan.
+// critical path — through the same renderer as hh-plan. The history
+// subcommand renders a run-history store's index (written with -store)
+// offline — the same table /api/history serves live.
 //
 // Usage:
 //
@@ -22,6 +24,7 @@
 //	hh-inspect heatmap run.json      # introspection sections of an artifact
 //	hh-inspect forensics run.json    # flip-provenance section of an artifact
 //	hh-inspect plan run.json         # host-cost schedule of an artifact
+//	hh-inspect history store         # run-history store index (hh-trend's data)
 package main
 
 import (
@@ -34,6 +37,7 @@ import (
 	"hyperhammer/internal/profile"
 	"hyperhammer/internal/report"
 	"hyperhammer/internal/runartifact"
+	"hyperhammer/internal/runstore"
 	"time"
 )
 
@@ -66,6 +70,16 @@ func main() {
 			os.Exit(2)
 		}
 		if err := renderPlan(os.Args[2]); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "history" {
+		if len(os.Args) != 3 {
+			fmt.Fprintln(os.Stderr, "usage: hh-inspect history storedir")
+			os.Exit(2)
+		}
+		if err := renderHistory(os.Args[2]); err != nil {
 			fatal(err)
 		}
 		return
@@ -172,6 +186,22 @@ func renderPlan(path string) error {
 	fmt.Printf("%s: tool=%s seed=%d scale=%s simSeconds=%.1f\n\n",
 		path, a.Tool, a.Seed, a.Scale, a.SimSeconds)
 	return profile.RenderPlan(os.Stdout, a.Plan, 72)
+}
+
+// renderHistory prints a run-history store's index offline, mirroring
+// /api/history: one row per ingested run with its config/content
+// hashes and headline figures. hh-trend folds the same index into
+// cross-run figure trends.
+func renderHistory(dir string) error {
+	if _, err := os.Stat(dir); err != nil {
+		return fmt.Errorf("%s: %w (produce a store with hyperhammer -store or hh-tables -store)", dir, err)
+	}
+	s, err := runstore.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	return runstore.RenderHistory(os.Stdout, s.History())
 }
 
 func fatal(err error) {

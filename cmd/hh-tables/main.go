@@ -55,10 +55,57 @@ func main() {
 	obsSample := flag.Duration("obs-sample", time.Second, "simulated-time interval between observability samples")
 	obsHold := flag.Duration("obs-hold", 0, "keep the observability server up this long (wall clock) after the run ends")
 	artifactPath := flag.String("artifact", "", "write the self-describing run bundle (config, metrics, cost profile) to this file for hh-diff")
+	storeDir := flag.String("store", "", "ingest the run bundle into this run-history store directory (config-hash indexed; hh-trend folds the stored history into cross-run trends)")
 	chromePath := flag.String("chrome-trace", "", "write the host-cost schedule as Chrome trace_event JSON (loadable in Perfetto / chrome://tracing) to this file")
 	parallel := flag.Int("parallel", 0, "worker-pool size for independent experiment units (0 = GOMAXPROCS, 1 = sequential; results are identical at any setting)")
 	flag.Var(&tables, "table", "table number to reproduce (repeatable: 1, 2, 3)")
 	flag.Parse()
+
+	// -artifact and -store both archive the run bundle, so everything
+	// the bundle needs rides along whenever either is set.
+	archive := *artifactPath != "" || *storeDir != ""
+	var store *hyperhammer.RunStore
+	if *storeDir != "" {
+		var err error
+		if store, err = hyperhammer.OpenRunStore(*storeDir); err != nil {
+			fmt.Fprintf(os.Stderr, "hh-tables: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	want := func(n int) bool {
+		if *all {
+			return true
+		}
+		for _, t := range tables {
+			if t == n {
+				return true
+			}
+		}
+		return false
+	}
+	// The normalized experiment selection, in canonical order. This is
+	// what the artifact records as deterministic config: unlike the raw
+	// argv it is independent of flag order, repetition, and host-only
+	// flags, so two runs selecting the same experiments hash the same.
+	var selParts []string
+	for n := 1; n <= 3; n++ {
+		if want(n) {
+			selParts = append(selParts, fmt.Sprintf("table%d", n))
+		}
+	}
+	if *figure || *all {
+		selParts = append(selParts, "figure3")
+	}
+	if *analysis || *all {
+		selParts = append(selParts, "analysis")
+	}
+	if *extras || *all {
+		selParts = append(selParts, "extras")
+	}
+	if *ablations || *all {
+		selParts = append(selParts, "ablations")
+	}
+	selected := strings.Join(selParts, ",")
 
 	o := experiments.Options{Seed: *seed, Short: *short, MaxAttempts: *attempts, Parallel: *parallel}
 	var traceFile *os.File
@@ -72,7 +119,7 @@ func main() {
 		// Buffered; closeTrace flushes on every exit path (os.Exit
 		// skips defers, and fail() exits through os.Exit).
 		o.Trace = hyperhammer.NewTrace(bufio.NewWriterSize(f, 1<<20), 0)
-	} else if *artifactPath != "" {
+	} else if archive {
 		// Cost profiling folds span events, so the artifact needs a
 		// recorder even without a trace file.
 		o.Trace = hyperhammer.NewTrace(nil, 0)
@@ -91,22 +138,22 @@ func main() {
 			traceFile.Close()
 		}
 	}
-	if *metricsPath != "" || *obsAddr != "" || *artifactPath != "" {
+	if *metricsPath != "" || *obsAddr != "" || archive {
 		o.Metrics = hyperhammer.NewMetrics()
 	}
 	// The introspection plane rides along whenever the run is observed
 	// live or archived; every unit gets a scoped inspector absorbed in
 	// declaration order (see experiments/plan.go).
-	if *obsAddr != "" || *artifactPath != "" {
+	if *obsAddr != "" || archive {
 		o.Inspect = hyperhammer.NewInspector(hyperhammer.InspectConfig{})
 	}
 	// Same for the forensics plane: every unit records flip provenance
 	// into a scoped recorder, absorbed in declaration order.
-	if *obsAddr != "" || *artifactPath != "" {
+	if *obsAddr != "" || archive {
 		o.Forensics = hyperhammer.NewForensics(hyperhammer.ForensicsConfig{})
 	}
 	var profiler *hyperhammer.CostProfiler
-	if *artifactPath != "" {
+	if archive {
 		// The profiler is NOT attached as a sink on the shared
 		// recorder: every unit folds spans over its own scoped
 		// recorder and the plan absorbs the per-unit profiles at
@@ -174,6 +221,10 @@ func main() {
 		a.Config["short"] = strconv.FormatBool(*short)
 		a.Config["attempts"] = strconv.Itoa(*attempts)
 		a.Config["parallel"] = strconv.Itoa(*parallel)
+		// "selected" is the canonical experiment set (enters ConfigHash);
+		// "selection" keeps the raw argv for humans and is excluded from
+		// the hash as host-only (it drags output paths and -parallel in).
+		a.Config["selected"] = selected
 		a.Config["selection"] = strings.Join(os.Args[1:], " ")
 		a.SimSeconds = o.Metrics.SimTime().Seconds()
 		// StripHost keeps the artifact's metrics section byte-identical
@@ -188,18 +239,32 @@ func main() {
 		}
 		return a
 	}
-	if *artifactPath != "" {
+	if archive {
 		o.Obs.SetArtifactFunc(func() any { return buildArtifact() })
 	}
+	o.Obs.SetRunStore(store)
 	writeArtifact := func() {
-		if *artifactPath == "" {
+		if !archive {
 			return
 		}
-		if err := buildArtifact().WriteFile(*artifactPath); err != nil {
-			fmt.Fprintln(os.Stderr, "hh-tables:", err)
-			return
+		a := buildArtifact()
+		if *artifactPath != "" {
+			if err := a.WriteFile(*artifactPath); err != nil {
+				fmt.Fprintln(os.Stderr, "hh-tables:", err)
+			} else {
+				log.Info("run artifact written", "path", *artifactPath)
+			}
 		}
-		log.Info("run artifact written", "path", *artifactPath)
+		if store != nil {
+			e, err := store.Ingest(a)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "hh-tables:", err)
+			} else {
+				log.Info("run ingested into history store",
+					"store", *storeDir, "run", e.RunID, "config", e.ConfigHash)
+			}
+			store.Close()
+		}
 	}
 	writeChrome := func() {
 		if *chromePath == "" {
@@ -231,17 +296,6 @@ func main() {
 			}
 			srv.Close()
 		}
-	}
-	want := func(n int) bool {
-		if *all {
-			return true
-		}
-		for _, t := range tables {
-			if t == n {
-				return true
-			}
-		}
-		return false
 	}
 	// Every selected experiment registers its units on the shared plan
 	// created above; the plan fans independent units across the worker

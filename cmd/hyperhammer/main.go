@@ -11,6 +11,7 @@
 //	hyperhammer -attempts N        # attempt budget
 //	hyperhammer -obs 127.0.0.1:0   # live status page + /metrics + SSE
 //	hyperhammer -artifact run.json # write the run bundle for hh-diff
+//	hyperhammer -store store       # ingest the run into the history store (hh-trend)
 //	hyperhammer -chrome-trace t.json # host-cost schedule for Perfetto
 package main
 
@@ -42,10 +43,23 @@ func main() {
 	obsSample := flag.Duration("obs-sample", time.Second, "simulated-time interval between observability samples")
 	obsHold := flag.Duration("obs-hold", 0, "keep the observability server up this long (wall clock) after the campaign ends")
 	artifactPath := flag.String("artifact", "", "write the self-describing run bundle (config, metrics, cost profile, outcome) to this file for hh-diff")
+	storeDir := flag.String("store", "", "ingest the run bundle into this run-history store directory (config-hash indexed; hh-trend folds the stored history into cross-run trends)")
 	hammerRounds := flag.Int("hammer-rounds", 0, "activation budget per hammer pattern (0 = attack default)")
 	parallel := flag.Int("parallel", 1, "accepted for CLI symmetry with hh-tables and recorded in the artifact; the single campaign is one serial unit, so it does not change execution")
 	chromeTrace := flag.String("chrome-trace", "", "write the host-cost schedule as Chrome trace_event JSON to this file (load in Perfetto or chrome://tracing)")
 	flag.Parse()
+
+	// -artifact and -store both archive the run bundle (to a file, to
+	// the history store, or both), so everything the bundle needs rides
+	// along whenever either is set.
+	archive := *artifactPath != "" || *storeDir != ""
+	var store *hyperhammer.RunStore
+	if *storeDir != "" {
+		var err error
+		if store, err = hyperhammer.OpenRunStore(*storeDir); err != nil {
+			fatal(err)
+		}
+	}
 
 	if *seed == 0 {
 		// Known-good defaults per scale; the attack is a geometric
@@ -97,7 +111,7 @@ func main() {
 		// and the buffered tail is the part that explains a crash.
 		rec = hyperhammer.NewTrace(bufio.NewWriterSize(f, 1<<20), 0)
 		hostCfg.Trace = rec
-	} else if *artifactPath != "" {
+	} else if archive {
 		// The artifact's cost profile folds span events, so profiling
 		// needs a recorder even when no trace file was requested;
 		// in-memory with no ring is nearly free.
@@ -120,7 +134,7 @@ func main() {
 	}
 
 	var reg *hyperhammer.MetricsRegistry
-	if *metricsPath != "" || *metricsTable || *obsAddr != "" || *artifactPath != "" {
+	if *metricsPath != "" || *metricsTable || *obsAddr != "" || archive {
 		reg = hyperhammer.NewMetrics()
 		hostCfg.Metrics = reg
 	}
@@ -129,7 +143,7 @@ func main() {
 	// live or archived: heatmap/census/alert endpoints and artifact
 	// sections come from the same inspector.
 	var inspector *hyperhammer.Inspector
-	if *obsAddr != "" || *artifactPath != "" {
+	if *obsAddr != "" || archive {
 		inspector = hyperhammer.NewInspector(hyperhammer.InspectConfig{})
 		hostCfg.Inspect = inspector
 	}
@@ -138,13 +152,13 @@ func main() {
 	// runs: /api/forensics and the artifact's forensics section (what
 	// hh-why explains) come from the same recorder.
 	var forensicsRec *hyperhammer.ForensicsRecorder
-	if *obsAddr != "" || *artifactPath != "" {
+	if *obsAddr != "" || archive {
 		forensicsRec = hyperhammer.NewForensics(hyperhammer.ForensicsConfig{})
 		hostCfg.Forensics = forensicsRec
 	}
 
 	var profiler *hyperhammer.CostProfiler
-	if *artifactPath != "" {
+	if archive {
 		profiler = hyperhammer.NewCostProfiler(reg)
 		rec.SetNamedSink("profile", profiler.Consume)
 	}
@@ -261,23 +275,37 @@ func main() {
 		}
 		return a
 	}
-	if *artifactPath != "" {
+	if archive {
 		plane.SetArtifactFunc(func() any { return buildArtifact() })
 	}
+	plane.SetRunStore(store)
 	// /api/plan serves the host-cost analysis live; until the campaign
 	// finishes it reports an empty schedule rather than erroring.
 	plane.SetPlanFunc(func() *hyperhammer.PlanReport {
 		return hyperhammer.BuildPlanReport(hostSched.Load())
 	})
 	writeArtifact := func() {
-		if *artifactPath == "" {
+		if !archive {
 			return
 		}
-		if err := buildArtifact().WriteFile(*artifactPath); err != nil {
-			fmt.Fprintln(os.Stderr, "hyperhammer:", err)
-			return
+		a := buildArtifact()
+		if *artifactPath != "" {
+			if err := a.WriteFile(*artifactPath); err != nil {
+				fmt.Fprintln(os.Stderr, "hyperhammer:", err)
+			} else {
+				log.Info("run artifact written", "path", *artifactPath)
+			}
 		}
-		log.Info("run artifact written", "path", *artifactPath)
+		if store != nil {
+			e, err := store.Ingest(a)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "hyperhammer:", err)
+			} else {
+				log.Info("run ingested into history store",
+					"store", *storeDir, "run", e.RunID, "config", e.ConfigHash)
+			}
+			store.Close()
+		}
 	}
 	writeChrome := func() {
 		if *chromeTrace == "" {

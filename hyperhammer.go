@@ -53,6 +53,7 @@ import (
 	"hyperhammer/internal/obs"
 	"hyperhammer/internal/profile"
 	"hyperhammer/internal/runartifact"
+	"hyperhammer/internal/runstore"
 	"hyperhammer/internal/sched"
 	"hyperhammer/internal/trace"
 	"hyperhammer/internal/virtio"
@@ -291,6 +292,20 @@ type RunArtifact = runartifact.Artifact
 func NewRunArtifact(tool string, seed uint64, scale string) *RunArtifact {
 	return runartifact.New(tool, seed, scale)
 }
+
+// RunStore is the run-history plane's content-addressed, config-hash-
+// indexed artifact store (see internal/runstore). The CLIs open one
+// with -store and ingest each run's artifact; cmd/hh-trend folds the
+// stored history into cross-run figure trends.
+type RunStore = runstore.Store
+
+// OpenRunStore opens (creating if needed) the run-history store rooted
+// at dir and loads its index.
+func OpenRunStore(dir string) (*RunStore, error) { return runstore.Open(dir) }
+
+// TrendReport is the cross-run trend view hh-trend renders and
+// /api/trend serves: per-figure time series with drift attribution.
+type TrendReport = runstore.Report
 
 // BootGuest starts the guest OS runtime on a VM.
 func BootGuest(vm *VM) *GuestOS { return guest.Boot(vm) }

@@ -8,6 +8,7 @@ import (
 	"hyperhammer/internal/inspect"
 	"hyperhammer/internal/metrics"
 	"hyperhammer/internal/profile"
+	"hyperhammer/internal/runstore"
 	"hyperhammer/internal/simtime"
 	"hyperhammer/internal/trace"
 )
@@ -48,6 +49,7 @@ type Plane struct {
 	inspector *inspect.Inspector
 	forensics *forensics.Recorder
 	plan      func() *profile.PlanReport
+	runstore  *runstore.Store
 }
 
 // NewPlane creates a plane over reg (which may be nil: the plane then
@@ -278,6 +280,32 @@ func (p *Plane) PlanReport() *profile.PlanReport {
 		return r
 	}
 	return profile.EmptyPlanReport()
+}
+
+// SetRunStore installs the run-history store the server's /api/history
+// and /api/trend endpoints serve from. A nil store (or never calling
+// this) makes both endpoints serve empty-but-schema-valid documents —
+// runstore's readers are nil-safe and hand out snapshot copies, so the
+// endpoints never race a CLI's in-flight ingest. Safe on a nil
+// receiver.
+func (p *Plane) SetRunStore(s *runstore.Store) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.runstore = s
+	p.mu.Unlock()
+}
+
+// RunStore returns the installed run-history store (nil when unset;
+// runstore methods are nil-safe).
+func (p *Plane) RunStore() *runstore.Store {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.runstore
 }
 
 // KeepAlive returns the SSE keepalive interval.

@@ -7,6 +7,8 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"time"
+
+	"hyperhammer/internal/runstore"
 )
 
 // Server is the plane's HTTP front end.
@@ -33,6 +35,14 @@ import (
 //	               per-unit host timings, critical path, parallel
 //	               efficiency (empty-but-valid until a CLI installs a
 //	               plan source)
+//	/api/history   run-history store index: one row per ingested run
+//	               with config/content hashes and headline figures
+//	               (empty-but-valid until a CLI opens a store with
+//	               -store)
+//	/api/trend     cross-run trend report over the store at default
+//	               tolerances: per-figure series, drift attribution,
+//	               host/bench regressions (hh-trend renders the same
+//	               data offline)
 //	/debug/pprof/  the standard Go profiler endpoints (wall-clock; the
 //	               simulation's own profile is /api/profile)
 type Server struct {
@@ -66,6 +76,8 @@ func (p *Plane) Serve(addr string) (*Server, error) {
 	mux.HandleFunc("/api/alerts", s.handleAlerts)
 	mux.HandleFunc("/api/forensics", s.handleForensics)
 	mux.HandleFunc("/api/plan", s.handlePlan)
+	mux.HandleFunc("/api/history", s.handleHistory)
+	mux.HandleFunc("/api/trend", s.handleTrend)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -202,6 +214,22 @@ func (s *Server) handleForensics(w http.ResponseWriter, _ *http.Request) {
 // installed: arrays are [] and never null.
 func (s *Server) handlePlan(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, s.plane.PlanReport())
+}
+
+// handleHistory serves the run-history store's index. History returns
+// a snapshot copy built under the store lock, so the response is never
+// a partial view of an in-flight ingest; on a nil store the document
+// is empty but schema-valid (entries is [] and never null).
+func (s *Server) handleHistory(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, s.plane.RunStore().History())
+}
+
+// handleTrend serves the cross-run trend report at the default
+// tolerances (sim figures exact, host durations listed but not gated,
+// bench ns/op at ±30%). Like /api/history it folds a snapshot copy of
+// the index, and on a nil store the report is empty but schema-valid.
+func (s *Server) handleTrend(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, s.plane.RunStore().Trend(runstore.DefaultTrendOptions()))
 }
 
 // handleEvents streams the bus over SSE: the replay ring first, then

@@ -50,8 +50,20 @@ type Series struct {
 type Artifact struct {
 	Version int `json:"version"`
 	// Tool names the producing command (hyperhammer, hh-tables).
-	Tool      string `json:"tool"`
-	CreatedAt string `json:"createdAt,omitempty"`
+	Tool string `json:"tool"`
+	// ToolVersion is the release of the producing tool, stamped at
+	// write time. It identifies *code*, not configuration: two runs
+	// with equal ConfigHash but different ToolVersion that disagree on
+	// figures point at a code change, not a config change.
+	ToolVersion string `json:"toolVersion,omitempty"`
+	// ConfigHash is the canonical hash of the deterministic config
+	// section (tool, seed, scale, and Config minus the host-only keys
+	// in HostOnlyConfigKeys), stamped at write time. Same hash ⇒ the
+	// runs claim identical simulated inputs, so every simulated figure
+	// must match exactly; internal/runstore indexes its artifact store
+	// by this hash and hh-diff prints a notice when hashes differ.
+	ConfigHash string `json:"configHash,omitempty"`
+	CreatedAt  string `json:"createdAt,omitempty"`
 	// Seed and Scale identify the run: same seed + scale + code ⇒
 	// byte-identical simulated results.
 	Seed  uint64 `json:"seed"`
@@ -152,8 +164,12 @@ func (a *Artifact) Folded() string {
 	return p.Folded()
 }
 
-// Write serializes the artifact as indented JSON.
+// Write serializes the artifact as indented JSON, stamping the
+// derived header fields (ConfigHash, ToolVersion) first so every
+// written artifact carries them regardless of which exit path built
+// it.
 func (a *Artifact) Write(w io.Writer) error {
+	a.Stamp()
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(a); err != nil {

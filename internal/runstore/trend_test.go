@@ -1,0 +1,305 @@
+package runstore
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// entry builds a minimal artifact-kind index entry for trend tests.
+func entry(seq int, cfg string, sim map[string]float64) IndexEntry {
+	return IndexEntry{
+		Seq: seq, RunID: runIDFor(seq), Kind: "artifact",
+		ConfigHash: cfg, Tool: "hyperhammer", Seed: 4, Scale: "short",
+		Sim: sim,
+	}
+}
+
+func runIDFor(seq int) string {
+	return strings.Repeat("0", 5) + string(rune('0'+seq)) + "-cafe"
+}
+
+func TestTrendIdenticalRunsNoDrift(t *testing.T) {
+	sim := map[string]float64{"sim_seconds": 123.5, "outcome[successes]": 0}
+	r := Build([]IndexEntry{
+		entry(1, "aaaa", sim), entry(2, "aaaa", sim), entry(3, "aaaa", sim),
+	}, DefaultTrendOptions())
+	if r.Regressed() || r.Flagged != 0 {
+		t.Fatalf("identical runs flagged: %+v", r)
+	}
+	if len(r.Groups) != 1 || r.Groups[0].SimDrift {
+		t.Fatalf("groups = %+v", r.Groups)
+	}
+	g := r.Groups[0]
+	if g.ConfigHashes != 1 || len(g.Runs) != 3 {
+		t.Fatalf("group roster wrong: %+v", g)
+	}
+	for _, f := range g.Figures {
+		if f.Min != f.Last || f.Median != f.Last {
+			t.Errorf("flat figure %s has moving stats: %+v", f.Name, f)
+		}
+	}
+}
+
+// TestTrendConfigDriftAttribution: the ISSUE's headline scenario — two
+// identical runs, then a third with a changed knob (new config hash)
+// and changed figures. The third run is attributed as first-regressed
+// and the drift is classified "config", not "determinism".
+func TestTrendConfigDriftAttribution(t *testing.T) {
+	sim := map[string]float64{"sim_seconds": 123.5}
+	perturbed := map[string]float64{"sim_seconds": 400.25}
+	r := Build([]IndexEntry{
+		entry(1, "aaaa", sim), entry(2, "aaaa", sim), entry(3, "bbbb", perturbed),
+	}, DefaultTrendOptions())
+	if !r.Regressed() {
+		t.Fatal("perturbed third run not flagged")
+	}
+	g := r.Groups[0]
+	if !g.SimDrift || g.DriftKind != DriftConfig {
+		t.Fatalf("drift kind = %q, want %q (%+v)", g.DriftKind, DriftConfig, g)
+	}
+	if g.FirstDriftSeq != 3 || g.FirstDriftRun != runIDFor(3) {
+		t.Fatalf("drift attributed to seq %d run %q, want the third run", g.FirstDriftSeq, g.FirstDriftRun)
+	}
+	if g.ConfigHashes != 2 {
+		t.Fatalf("config hashes = %d, want 2", g.ConfigHashes)
+	}
+	if len(g.DriftFigures) != 1 || g.DriftFigures[0] != "sim_seconds" {
+		t.Fatalf("drift figures = %v", g.DriftFigures)
+	}
+}
+
+// TestTrendDeterminismDrift: figures moved but the config hash did not
+// — same claimed inputs, different results. That is a determinism
+// regression.
+func TestTrendDeterminismDrift(t *testing.T) {
+	r := Build([]IndexEntry{
+		entry(1, "aaaa", map[string]float64{"fingerprint[counters]": 10}),
+		entry(2, "aaaa", map[string]float64{"fingerprint[counters]": 11}),
+	}, DefaultTrendOptions())
+	g := r.Groups[0]
+	if !g.SimDrift || g.DriftKind != DriftDeterminism {
+		t.Fatalf("drift kind = %q, want %q", g.DriftKind, DriftDeterminism)
+	}
+	if g.FirstDriftSeq != 2 {
+		t.Fatalf("first drift seq = %d, want 2", g.FirstDriftSeq)
+	}
+}
+
+// TestTrendFigurePresenceChangeIsDrift: a figure appearing or vanishing
+// between same-lineage runs is a behavior change, same as a value move.
+func TestTrendFigurePresenceChangeIsDrift(t *testing.T) {
+	r := Build([]IndexEntry{
+		entry(1, "aaaa", map[string]float64{"sim_seconds": 1, "outcome[bits]": 5}),
+		entry(2, "aaaa", map[string]float64{"sim_seconds": 1}),
+	}, DefaultTrendOptions())
+	if !r.Groups[0].SimDrift {
+		t.Fatal("vanished figure not reported as drift")
+	}
+}
+
+// TestHostToleranceWalk: host figures use the -host-tol rule against
+// the running best; a regression beyond tolerance is attributed to its
+// first run, and a later run back within tolerance heals the gate.
+func TestHostToleranceWalk(t *testing.T) {
+	mk := func(seq int, wall float64) IndexEntry {
+		e := entry(seq, "aaaa", map[string]float64{"sim_seconds": 1})
+		e.Host = map[string]float64{"wall_seconds": wall}
+		return e
+	}
+	opts := DefaultTrendOptions()
+	opts.HostFrac = 0.30
+
+	r := Build([]IndexEntry{mk(1, 1.0), mk(2, 1.1), mk(3, 2.5)}, opts)
+	var f *FigureTrend
+	for i := range r.Groups[0].Figures {
+		if r.Groups[0].Figures[i].Name == "wall_seconds" {
+			f = &r.Groups[0].Figures[i]
+		}
+	}
+	if f == nil || !f.Regressed || f.FirstRegressedSeq != 3 {
+		t.Fatalf("wall_seconds trajectory = %+v, want regression at seq 3", f)
+	}
+	if f.Min != 1.0 || f.Last != 2.5 {
+		t.Fatalf("stats wrong: %+v", f)
+	}
+
+	// A fourth run back near the best heals the gate; attribution of
+	// the excursion is kept.
+	r = Build([]IndexEntry{mk(1, 1.0), mk(2, 1.1), mk(3, 2.5), mk(4, 1.05)}, opts)
+	for _, f := range r.Groups[0].Figures {
+		if f.Name == "wall_seconds" && f.Regressed {
+			t.Fatalf("healed trajectory still gates: %+v", f)
+		}
+	}
+	if r.Regressed() {
+		t.Fatal("healed report still flagged")
+	}
+
+	// The default HostFrac of 1.0 never gates host figures at all.
+	r = Build([]IndexEntry{mk(1, 1.0), mk(2, 1.9)}, DefaultTrendOptions())
+	if r.Regressed() {
+		t.Fatal("default host tolerance must list, never gate")
+	}
+}
+
+// TestHigherIsBetterFigures: a speedup drop is the regression, not a
+// speedup rise.
+func TestHigherIsBetterFigures(t *testing.T) {
+	mk := func(seq int, speedup float64) IndexEntry {
+		e := entry(seq, "aaaa", map[string]float64{"sim_seconds": 1})
+		e.Host = map[string]float64{"actual_speedup": speedup}
+		return e
+	}
+	opts := DefaultTrendOptions()
+	opts.HostFrac = 0.30
+	r := Build([]IndexEntry{mk(1, 3.0), mk(2, 1.0)}, opts)
+	if !r.Regressed() {
+		t.Fatal("speedup collapse not flagged")
+	}
+	r = Build([]IndexEntry{mk(1, 1.0), mk(2, 3.0)}, opts)
+	if r.Regressed() {
+		t.Fatal("speedup improvement flagged as regression")
+	}
+}
+
+func TestBenchRegression(t *testing.T) {
+	mk := func(seq int, ns float64) IndexEntry {
+		return IndexEntry{
+			Seq: seq, RunID: runIDFor(seq), Kind: "bench", Tool: "bench",
+			ConfigHash: "mach", Bench: map[string]float64{"BenchmarkX ns/op": ns},
+		}
+	}
+	r := Build([]IndexEntry{mk(1, 100), mk(2, 120), mk(3, 200)}, DefaultTrendOptions())
+	if !r.Regressed() {
+		t.Fatal("2x bench slowdown not flagged at the default ±30%")
+	}
+	g := r.Groups[0]
+	if g.Key != "bench" || g.SimDrift {
+		t.Fatalf("bench group misfolded: %+v", g)
+	}
+	var f *FigureTrend
+	for i := range g.Figures {
+		if g.Figures[i].Kind == "bench" {
+			f = &g.Figures[i]
+		}
+	}
+	if f == nil || f.FirstRegressedSeq != 3 {
+		t.Fatalf("bench figure = %+v, want attribution at seq 3", f)
+	}
+}
+
+func TestTrendLastNAndSince(t *testing.T) {
+	sim := map[string]float64{"sim_seconds": 1}
+	perturbed := map[string]float64{"sim_seconds": 2}
+	entries := []IndexEntry{entry(1, "aaaa", perturbed), entry(2, "aaaa", sim), entry(3, "aaaa", sim)}
+	opts := DefaultTrendOptions()
+	opts.LastN = 2
+	if r := Build(entries, opts); r.Regressed() {
+		t.Fatal("-last 2 must drop the old divergent run")
+	}
+	if r := Build(entries, DefaultTrendOptions()); !r.Regressed() {
+		t.Fatal("full history must still see the divergence")
+	}
+}
+
+// TestReportJSONNeverNull: the /api/trend contract — groups and nested
+// lists are always lists.
+func TestReportJSONNeverNull(t *testing.T) {
+	for name, r := range map[string]*Report{
+		"empty": Build(nil, DefaultTrendOptions()),
+		"one": Build([]IndexEntry{
+			entry(1, "aaaa", map[string]float64{"sim_seconds": 1}),
+		}, DefaultTrendOptions()),
+	} {
+		b, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bytes.Contains(b, []byte("null")) {
+			t.Errorf("%s report serializes null: %s", name, b)
+		}
+	}
+}
+
+// TestDriftDetail: a detected drift is attributed figure-by-figure by
+// diffing the stored artifacts on either side of the divergence.
+func TestDriftDetail(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Ingest(testArtifact(4)); err != nil {
+		t.Fatal(err)
+	}
+	b := testArtifact(4)
+	b.Config["hammer-rounds"] = "400000"
+	b.SimSeconds = 300
+	b.Outcome["successes"] = 1
+	if _, err := s.Ingest(b); err != nil {
+		t.Fatal(err)
+	}
+
+	r := s.Trend(DefaultTrendOptions())
+	g := &r.Groups[0]
+	if !g.SimDrift || g.DriftKind != DriftConfig {
+		t.Fatalf("store trend = %+v", g)
+	}
+	deltas, err := s.DriftDetail(g, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, d := range deltas {
+		names[d.Key] = true
+	}
+	if !names["sim_seconds"] {
+		t.Fatalf("drift detail missed sim_seconds: %v", names)
+	}
+}
+
+// TestRenderSmoke: the text renderers never error and carry the
+// attribution line.
+func TestRenderSmoke(t *testing.T) {
+	sim := map[string]float64{"sim_seconds": 123.5}
+	r := Build([]IndexEntry{
+		entry(1, "aaaa", sim), entry(2, "aaaa", sim),
+		entry(3, "bbbb", map[string]float64{"sim_seconds": 400}),
+	}, DefaultTrendOptions())
+	var buf bytes.Buffer
+	if err := RenderReport(&buf, r, 40); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"DRIFT (config)", runIDFor(3), "REGRESSED", "sim_seconds"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report rendering lacks %q:\n%s", want, out)
+		}
+	}
+
+	buf.Reset()
+	h := HistorySnapshot{Version: Version, Dir: "store", Entries: []IndexEntry{
+		entry(1, "aaaa", sim),
+	}}
+	if err := RenderHistory(&buf, h); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "aaaa") {
+		t.Errorf("history rendering lacks the config hash:\n%s", buf.String())
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if got := sparkline([]float64{1, 1, 1}, 0); got != "___" {
+		t.Errorf("flat sparkline = %q", got)
+	}
+	got := sparkline([]float64{0, 5, 10}, 0)
+	if len(got) != 3 || got[0] != '_' || got[2] != '@' {
+		t.Errorf("ramp sparkline = %q", got)
+	}
+	if got := sparkline([]float64{1, 2, 3, 4}, 2); len(got) != 2 {
+		t.Errorf("width cap ignored: %q", got)
+	}
+}
