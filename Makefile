@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race vet lint bench bench-short bench-verify tables demo fuzz profile-gate parallel-gate history-gate clean
+.PHONY: all build test test-short test-race vet lint bench bench-short bench-verify tables demo fuzz profile-gate parallel-gate history-gate hotpath-gate clean
 
 all: build vet test
 
@@ -123,6 +123,20 @@ history-gate:
 	rm -rf history_store history_drift.txt
 	@echo "history-gate: determinism held across identical runs; drift attributed"
 
+# Hammer hot-path gate: re-run the dram hammer microbenchmarks and
+# the Table 3 campaign benchmark, then check with hh-hotpath that the
+# batched steady-state hammer path still reports 0 allocs/op and that
+# the end-to-end attack cost has not regressed more than 25% against
+# the committed bench_output.txt (same tolerance rule as hh-trend's
+# -bench-tol). On a legitimate speedup or workload change, run
+# `make bench` and commit the refreshed log pair.
+hotpath-gate:
+	$(GO) test -run xxx -bench 'BenchmarkHammer(Op|Batch|TRRAudit)$$' -benchmem -benchtime 20000x ./internal/dram/ > hotpath_bench.txt || { cat hotpath_bench.txt; exit 1; }
+	$(GO) test -run xxx -bench 'BenchmarkTable3AttackCost$$' -benchmem -benchtime 1x . >> hotpath_bench.txt || { cat hotpath_bench.txt; exit 1; }
+	$(GO) run ./cmd/hh-hotpath -committed bench_output.txt -fresh hotpath_bench.txt \
+		-zero-alloc BenchmarkHammerOp,BenchmarkHammerBatch -compare BenchmarkTable3AttackCost -bench-tol 0.25
+	rm -f hotpath_bench.txt
+
 # Brief fuzzing pass over the fuzz targets.
 fuzz:
 	$(GO) test -fuzz=FuzzAllocFreeSequence -fuzztime=20s ./internal/buddy/
@@ -132,4 +146,4 @@ fuzz:
 
 clean:
 	$(GO) clean ./...
-	rm -f test_output.txt bench_output.txt BENCH_short.json run_artifact.json
+	rm -f test_output.txt bench_output.txt BENCH_short.json run_artifact.json hotpath_bench.txt

@@ -1,0 +1,107 @@
+// Command hh-hotpath is the hammer hot-path CI gate. It reads two
+// `go test -bench` logs — the committed bench_output.txt and a fresh
+// run of the hot-path benchmarks — and enforces two invariants:
+//
+//  1. The benchmarks named in -zero-alloc report 0 allocs/op in the
+//     fresh log: the batched steady-state hammer path must not
+//     allocate per operation.
+//  2. The -compare benchmark's ns/op in the fresh log has not
+//     regressed more than -bench-tol (relative) against the committed
+//     log, using the same tolerance rule hh-diff and hh-trend apply
+//     (runartifact.WithinTol). Improvements never fail the gate.
+//
+// Usage:
+//
+//	hh-hotpath -committed bench_output.txt -fresh hotpath_bench.txt \
+//	    -zero-alloc BenchmarkHammerOp,BenchmarkHammerBatch \
+//	    -compare BenchmarkTable3AttackCost -bench-tol 0.25
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hyperhammer/internal/benchfmt"
+	"hyperhammer/internal/runartifact"
+)
+
+func main() {
+	committedPath := flag.String("committed", "bench_output.txt", "committed benchmark log (the reference)")
+	freshPath := flag.String("fresh", "", "fresh benchmark log to check (required)")
+	zeroAlloc := flag.String("zero-alloc", "", "comma-separated benchmarks that must report 0 allocs/op in the fresh log")
+	compare := flag.String("compare", "", "benchmark whose fresh ns/op is checked against the committed log")
+	benchTol := flag.Float64("bench-tol", 0.25, "relative ns/op regression tolerance for -compare")
+	flag.Parse()
+
+	if *freshPath == "" {
+		fmt.Fprintln(os.Stderr, "hh-hotpath: -fresh is required")
+		os.Exit(2)
+	}
+	fresh := mustParse(*freshPath)
+
+	failed := false
+	for _, name := range strings.Split(*zeroAlloc, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		b, ok := fresh[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "hh-hotpath: FAIL %s: not found in fresh log\n", name)
+			failed = true
+			continue
+		}
+		if allocs := b.Metrics["allocs/op"]; allocs != 0 {
+			fmt.Fprintf(os.Stderr, "hh-hotpath: FAIL %s: %g allocs/op, want 0 (run with -benchmem)\n", name, allocs)
+			failed = true
+		} else {
+			fmt.Printf("hh-hotpath: ok   %s: 0 allocs/op (%.1f ns/op)\n", name, b.Metrics["ns/op"])
+		}
+	}
+
+	if *compare != "" {
+		committed := mustParse(*committedPath)
+		ref, okRef := committed[*compare]
+		cur, okCur := fresh[*compare]
+		switch {
+		case !okRef:
+			fmt.Fprintf(os.Stderr, "hh-hotpath: FAIL %s: not found in committed log %s\n", *compare, *committedPath)
+			failed = true
+		case !okCur:
+			fmt.Fprintf(os.Stderr, "hh-hotpath: FAIL %s: not found in fresh log %s\n", *compare, *freshPath)
+			failed = true
+		default:
+			refNs, curNs := ref.Metrics["ns/op"], cur.Metrics["ns/op"]
+			// One-sided: only a slowdown beyond the tolerance fails.
+			if curNs > refNs && !runartifact.WithinTol(refNs, curNs, *benchTol, 0) {
+				fmt.Fprintf(os.Stderr, "hh-hotpath: FAIL %s: %.0f ns/op vs committed %.0f (+%.1f%%, tol %.0f%%)\n",
+					*compare, curNs, refNs, 100*(curNs/refNs-1), 100**benchTol)
+				failed = true
+			} else {
+				fmt.Printf("hh-hotpath: ok   %s: %.0f ns/op vs committed %.0f (%+.1f%%)\n",
+					*compare, curNs, refNs, 100*(curNs/refNs-1))
+			}
+		}
+	}
+
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func mustParse(path string) map[string]benchfmt.Benchmark {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hh-hotpath:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	out, err := benchfmt.Parse(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hh-hotpath:", err)
+		os.Exit(1)
+	}
+	return out.ByName()
+}

@@ -218,6 +218,10 @@ func (o Options) newHost(sys System) (*kvm.Host, error) {
 		Obs:            o.Obs,
 		Inspect:        o.Inspect,
 		Forensics:      o.Forensics,
+		// Intra-host parallelism rides the same -parallel knob as the
+		// experiment engine: the DRAM module shards its batched
+		// per-bank pass without perturbing any deterministic stream.
+		DRAMShardWorkers: o.Parallel,
 	}
 	h, err := kvm.NewHost(cfg)
 	if err != nil {

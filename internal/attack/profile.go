@@ -112,25 +112,24 @@ func profile(os *guest.OS, cfg Config) (*ProfileResult, error) {
 	}
 	res := &ProfileResult{Buffer: Buffer{Base: base, Hugepages: n}}
 
-	for page := 0; page < n*memdef.PagesPerHuge; page++ {
-		if err := os.FillPage(base+memdef.GVA(page)*memdef.PageSize, profilePattern); err != nil {
-			return nil, fmt.Errorf("attack: filling profile buffer: %w", err)
-		}
+	if err := os.FillPages(base, n*memdef.PagesPerHuge, profilePattern); err != nil {
+		return nil, fmt.Errorf("attack: filling profile buffer: %w", err)
 	}
 
 	pairs := cfg.aggressorPairs()
 	seen := make(map[guest.Flip]bool)
+	gvaPairs := make([][2]memdef.GVA, len(pairs))
 
-	for hp := 0; hp < n; hp++ {
+	done := false
+	for hp := 0; hp < n && !done; hp++ {
 		hugeBase := base + memdef.GVA(hp)*memdef.HugePageSize
-		for _, pr := range pairs {
-			a := hugeBase + memdef.GVA(pr[0])
-			b := hugeBase + memdef.GVA(pr[1])
-			if err := os.Hammer(a, b, cfg.HammerRounds); err != nil {
-				return nil, fmt.Errorf("attack: hammering: %w", err)
-			}
+		for i, pr := range pairs {
+			gvaPairs[i] = [2]memdef.GVA{hugeBase + memdef.GVA(pr[0]), hugeBase + memdef.GVA(pr[1])}
+		}
+		err := os.HammerScanPairs(gvaPairs, cfg.HammerRounds, func(i int, flips []guest.Flip) (bool, error) {
 			res.HammerOps++
-			for _, f := range os.ScanForFlips() {
+			a, b := gvaPairs[i][0], gvaPairs[i][1]
+			for _, f := range flips {
 				if seen[f] {
 					continue
 				}
@@ -148,10 +147,14 @@ func profile(os *guest.OS, cfg Config) (*ProfileResult, error) {
 				bit.Exploitable = bit.Stable && bit.InRange
 				res.add(bit)
 				if cfg.StopAfterExploitable > 0 && res.AttackUsable >= cfg.StopAfterExploitable {
-					res.Duration = sw.Elapsed()
-					return res, nil
+					done = true
+					return true, nil
 				}
 			}
+			return false, nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("attack: hammering: %w", err)
 		}
 	}
 	res.Duration = sw.Elapsed()

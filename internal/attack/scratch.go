@@ -33,6 +33,13 @@ type attemptScratch struct {
 	baseline   []guest.MappingChange
 	probe      []guest.MappingChange
 	known      map[memdef.GVA]bool
+
+	// exploit's batched hammer submission: the spec list and the flat
+	// aggressor-address backing its Aggressors slices point into. When
+	// an append reallocates the backing, earlier specs keep the old
+	// array — its values are already final, so aliasing is not needed.
+	specs    []guest.HammerSpec
+	specGVAs []memdef.GVA
 }
 
 func (s *attemptScratch) gvaSet(m *map[memdef.GVA]bool) map[memdef.GVA]bool {

@@ -2,10 +2,10 @@ package dram
 
 import (
 	"math/rand/v2"
-	"sort"
 
 	"hyperhammer/internal/memdef"
 	"hyperhammer/internal/metrics"
+	"hyperhammer/internal/sched"
 )
 
 // FlipDirection is the fixed direction of a vulnerable cell. DRAM
@@ -119,10 +119,19 @@ func S2FaultModel(seed uint64) FaultModelConfig {
 // vulnerable-cell population. Cell populations are generated lazily
 // and deterministically per (bank, row), so a 16 GiB module costs
 // nothing until rows are actually hammered.
+//
+// Row state is organized per bank (bankState): the population cache,
+// the reusable struct-of-arrays disturbance scratch, and the batch
+// pipeline's verdict buffers are all bank-local, which is what makes
+// the batched threshold-crossing pass shardable per bank with no
+// synchronization (see batch.go).
 type Module struct {
-	Geo  *Geometry
-	cfg  FaultModelConfig
-	rows map[rowKey][]Cell // lazily materialized vulnerable cells
+	Geo *Geometry
+	cfg FaultModelConfig
+
+	// banks holds the per-bank row state, indexed by bank number and
+	// lazily populated. The slice itself is sized on first use.
+	banks []bankState
 
 	// ops counts hammer operations. It salts the per-op randomness so
 	// that repeating an identical operation (a stability retest)
@@ -139,6 +148,63 @@ type Module struct {
 	flip FlipSink
 
 	met moduleMetrics
+
+	// opPCG/opRand are the reusable per-op RNG: reseeding a PCG in
+	// place draws the identical stream a freshly allocated
+	// rand.New(rand.NewPCG(...)) would, without the two allocations.
+	opPCG  rand.PCG
+	opRand *rand.Rand
+
+	bat batchScratch
+
+	// shard, when non-nil with more than one worker, fans the batched
+	// per-bank crossing pass across the pool (SetShardRunner).
+	shard *sched.Runner
+
+	// deliverSelf/deliverConcat/lastFlips adapt the slice-returning
+	// Hammer and HammerBatch APIs onto the callback pipeline without
+	// a per-call closure allocation.
+	deliverSelf   func(int, []CandidateFlip) error
+	deliverConcat func(int, []CandidateFlip) error
+	lastFlips     []CandidateFlip
+}
+
+// bankState is the per-bank slice of the module's row state. Each
+// hammer operation touches a handful of rows per bank, so the
+// disturbance scratch is a tiny struct-of-arrays (parallel row and
+// pressure slices) reused across operations, not a full-row vector.
+type bankState struct {
+	// Vulnerable-cell population cache. checked marks rows whose
+	// population has been generated (so the empty majority never
+	// re-runs its row RNG); hasCells marks the generated rows that
+	// actually hold cells; cells stores those populations.
+	checked  []uint64
+	hasCells []uint64
+	cells    map[int][]Cell
+	// pcg/rng are the bank's reusable row-population RNG, reseeded
+	// per row; identical streams to a fresh rand.New(rand.NewPCG()).
+	pcg rand.PCG
+	rng *rand.Rand
+
+	// Main disturbance scratch for the current op: vRows[i] carries
+	// vPres[i] accumulated pressure. Reset per (op, bank).
+	vRows []int32
+	vPres []float64
+	// Audit (pre-TRR) disturbance scratch, same shape.
+	aRows []int32
+	aPres []float64
+
+	// Batch pipeline state: the ops (by batch index, ascending) with
+	// work in this bank, and the phase-B verdict records they
+	// produced — main candidates and trr-refreshed audit hits, each
+	// consumed by an emission cursor in phase C. epoch stamps which
+	// batch the buffers belong to, so joining a new batch resets them
+	// without a per-bank sweep.
+	epoch      uint64
+	opIdx      []int32
+	recs       []cellRecord
+	arecs      []cellRecord
+	mCur, aCur int
 }
 
 // ActivationSink accumulates per-row activation pressure from hammer
@@ -171,7 +237,8 @@ const (
 // FlipOpInfo describes one hammer operation to the flip sink: the
 // active aggressor set (post-dedup, post-bank-filter), the rows the
 // TRR tracker neutralized, and the requested vs refresh-window-clipped
-// per-aggressor activation counts.
+// per-aggressor activation counts. The slices are borrowed from the
+// module's scratch and valid only for the duration of the call.
 type FlipOpInfo struct {
 	Aggressors  []RowRef
 	Neutralized []RowRef
@@ -241,35 +308,53 @@ func (m *Module) SetMetrics(reg *metrics.Registry) {
 	}
 }
 
-type rowKey struct {
-	bank, row int
-}
-
 // NewModule installs a DRAM module with the given geometry and fault
 // model.
 func NewModule(geo *Geometry, cfg FaultModelConfig) *Module {
-	return &Module{Geo: geo, cfg: cfg, rows: make(map[rowKey][]Cell)}
+	return &Module{Geo: geo, cfg: cfg}
 }
 
-// rowRNG returns a deterministic RNG for one (bank, row), independent
-// of visit order.
-func (m *Module) rowRNG(bank, row int) *rand.Rand {
-	// SplitMix-style key mixing keeps rows statistically independent.
-	k := m.cfg.Seed ^ (uint64(bank)+1)*0x9E3779B97F4A7C15 ^ (uint64(row)+1)*0xBF58476D1CE4E5B9
-	return rand.New(rand.NewPCG(k, k^0x94D049BB133111EB))
+// bank returns bank b's state, sizing the bank table on first use.
+func (m *Module) bank(b int) *bankState {
+	if m.banks == nil {
+		m.banks = make([]bankState, m.Geo.Banks())
+	}
+	return &m.banks[b]
 }
 
 // VulnerableCells returns the vulnerable cells of one (bank, row),
-// generating them deterministically on demand. Only rows that contain
-// cells are cached: with realistic densities almost all rows are
-// empty, and caching them would bloat a long profiling run. The
-// returned slice must not be modified.
+// generating them deterministically on demand. Generated rows are
+// remembered in a per-bank bitset — the empty majority as a single
+// bit, so a long profiling run neither re-derives their RNG nor
+// bloats a cache with them. The returned slice must not be modified.
 func (m *Module) VulnerableCells(bank, row int) []Cell {
-	key := rowKey{bank, row}
-	if cells, ok := m.rows[key]; ok {
-		return cells
+	return m.cellsForRow(m.bank(bank), bank, row)
+}
+
+// cellsForRow is VulnerableCells against an already-resolved bank
+// state. It touches only that bank's state (plus the immutable config
+// and geometry), which is what makes concurrent per-bank evaluation
+// in the batch pipeline race-free.
+func (m *Module) cellsForRow(bs *bankState, bank, row int) []Cell {
+	if bs.checked == nil {
+		words := (m.Geo.Rows() + 63) / 64
+		bs.checked = make([]uint64, words)
+		bs.hasCells = make([]uint64, words)
+		bs.rng = rand.New(&bs.pcg)
 	}
-	rng := m.rowRNG(bank, row)
+	w, bit := row>>6, uint(row&63)
+	if bs.checked[w]&(1<<bit) != 0 {
+		if bs.hasCells[w]&(1<<bit) == 0 {
+			return nil
+		}
+		return bs.cells[row]
+	}
+	bs.checked[w] |= 1 << bit
+	// SplitMix-style key mixing keeps rows statistically independent
+	// of each other and of visit order.
+	k := m.cfg.Seed ^ (uint64(bank)+1)*0x9E3779B97F4A7C15 ^ (uint64(row)+1)*0xBF58476D1CE4E5B9
+	bs.pcg.Seed(k, k^0x94D049BB133111EB)
+	rng := bs.rng
 	// Poisson sampling via inversion is overkill at these densities;
 	// a two-draw Bernoulli mixture gives the same first two moments
 	// for lambda << 1 while staying cheap and deterministic.
@@ -285,27 +370,38 @@ func (m *Module) VulnerableCells(bank, row int) []Cell {
 		}
 		lambda -= 1
 	}
-	var cells []Cell
-	if n > 0 {
-		rowBits := int(m.Geo.RowBytesPerBank()) * 8
-		cells = make([]Cell, 0, n)
-		for i := 0; i < n; i++ {
-			c := Cell{
-				BitIndex:  rng.IntN(rowBits),
-				Threshold: m.cfg.ThresholdMin + rng.Float64()*(m.cfg.ThresholdMax-m.cfg.ThresholdMin),
-				Stable:    rng.Float64() < m.cfg.StableFraction,
-				FlakyP:    m.cfg.FlakyP,
-			}
-			if rng.Float64() < 0.5 {
-				c.Direction = FlipOneToZero
-			} else {
-				c.Direction = FlipZeroToOne
-			}
-			cells = append(cells, c)
-		}
-		sort.Slice(cells, func(i, j int) bool { return cells[i].BitIndex < cells[j].BitIndex })
-		m.rows[key] = cells
+	if n == 0 {
+		return nil
 	}
+	rowBits := int(m.Geo.RowBytesPerBank()) * 8
+	cells := make([]Cell, 0, n)
+	for i := 0; i < n; i++ {
+		c := Cell{
+			BitIndex:  rng.IntN(rowBits),
+			Threshold: m.cfg.ThresholdMin + rng.Float64()*(m.cfg.ThresholdMax-m.cfg.ThresholdMin),
+			Stable:    rng.Float64() < m.cfg.StableFraction,
+			FlakyP:    m.cfg.FlakyP,
+		}
+		if rng.Float64() < 0.5 {
+			c.Direction = FlipOneToZero
+		} else {
+			c.Direction = FlipZeroToOne
+		}
+		cells = append(cells, c)
+	}
+	// Insertion sort by BitIndex: populations are tiny (at most
+	// ceil(CellsPerRow) cells), where this is exactly the comparison
+	// sequence sort.Slice would run.
+	for i := 1; i < len(cells); i++ {
+		for j := i; j > 0 && cells[j].BitIndex < cells[j-1].BitIndex; j-- {
+			cells[j], cells[j-1] = cells[j-1], cells[j]
+		}
+	}
+	bs.hasCells[w] |= 1 << bit
+	if bs.cells == nil {
+		bs.cells = make(map[int][]Cell)
+	}
+	bs.cells[row] = cells
 	return cells
 }
 
@@ -355,13 +451,97 @@ func (m *Module) AddrOfCell(bank, row, bitIndex int) (memdef.HPA, uint) {
 // HammerOp describes one hammer operation: a set of aggressor rows
 // each activated Rounds times within refresh windows. The operation
 // models the paper's pattern of hammering two same-bank rows for
-// 250,000 rounds.
+// 250,000 rounds. The Aggressors slice is only read during the
+// Hammer/HammerBatch call, so callers may reuse its backing.
 type HammerOp struct {
 	Aggressors []RowRef
 	Rounds     int
-	// rng drives unstable-cell flips; derived from op content when
-	// nil so results stay deterministic.
-	rng *rand.Rand
+}
+
+// neighborOffsets is the blast radius of one aggressor: row distances
+// whose disturbance weight is nonzero, in accumulation order.
+var neighborOffsets = [4]int{-2, -1, 1, 2}
+
+// addPressure accumulates one aggressor's neighbour disturbance into
+// a bank's (rows, pressure) struct-of-arrays scratch. c1/c2 are the
+// distance-1/distance-2 contributions (weight × rounds); the float
+// additions happen in exactly the aggressor-then-offset order of the
+// sequential evaluation, so sums are bit-identical.
+func addPressure(rowsp *[]int32, presp *[]float64, aggRow, maxRow int, c1, c2 float64) {
+	rows, pres := *rowsp, *presp
+	for _, d := range neighborOffsets {
+		v := aggRow + d
+		if v < 0 || v >= maxRow {
+			continue
+		}
+		c := c1
+		if d == 2 || d == -2 {
+			c = c2
+		}
+		found := false
+		for i, r := range rows {
+			if int(r) == v {
+				pres[i] += c
+				found = true
+				break
+			}
+		}
+		if !found {
+			rows = append(rows, int32(v))
+			pres = append(pres, c)
+		}
+	}
+	*rowsp, *presp = rows, pres
+}
+
+// sortRowsPres insertion-sorts the parallel (rows, pressure) arrays by
+// row ascending. Rows are unique, so the order equals the sequential
+// path's sorted victim iteration.
+func sortRowsPres(rows []int32, pres []float64) {
+	for i := 1; i < len(rows); i++ {
+		for j := i; j > 0 && rows[j] < rows[j-1]; j-- {
+			rows[j], rows[j-1] = rows[j-1], rows[j]
+			pres[j], pres[j-1] = pres[j-1], pres[j]
+		}
+	}
+}
+
+// newOpRand wraps the module's reusable PCG source: reseeding it in
+// place per op draws the identical stream a freshly allocated
+// rand.New(rand.NewPCG(...)) would, without the two allocations.
+func newOpRand(p *rand.PCG) *rand.Rand { return rand.New(p) }
+
+// sortBanks insertion-sorts a bank list ascending.
+func sortBanks(banks []int32) {
+	for i := 1; i < len(banks); i++ {
+		for j := i; j > 0 && banks[j] < banks[j-1]; j-- {
+			banks[j], banks[j-1] = banks[j-1], banks[j]
+		}
+	}
+}
+
+// hasBank reports membership in a (tiny) bank list.
+func hasBank(banks []int32, b int32) bool {
+	for _, x := range banks {
+		if x == b {
+			return true
+		}
+	}
+	return false
+}
+
+// rowExcluded reports whether (bank, row) names one of the op's own
+// aggressor rows: those are being driven, not disturbed. The set to
+// test is the pre-TRR active set — every deduplicated aggressor in a
+// bank with disturbance is in it, so this equals the sequential
+// path's deletion of every raw aggressor key.
+func rowExcluded(set []RowRef, bank, row int) bool {
+	for _, ag := range set {
+		if ag.Bank == bank && ag.Row == row {
+			return true
+		}
+	}
+	return false
 }
 
 // Hammer evaluates the fault model for one hammer operation and
@@ -370,283 +550,24 @@ type HammerOp struct {
 // distance 1 and 2 within the same bank; a vulnerable cell flips when
 // the disturbance reaches its threshold (always for stable cells, with
 // probability FlakyP for unstable ones).
+//
+// Hammer is the batch pipeline run over a single operation; see
+// batch.go for the phases. The returned slice is owned by the caller.
 func (m *Module) Hammer(op HammerOp) []CandidateFlip {
-	if op.Rounds <= 0 || len(op.Aggressors) == 0 {
-		return nil
-	}
-	m.met.hammerOps.Inc()
-	m.met.activations.Add(uint64(op.Activations()))
-	// Deduplicate aggressor rows: repeated accesses to an already-open
-	// row are row-buffer hits and cause no extra activations, so a
-	// "pattern" naming the same row twice hammers no harder than one
-	// naming it once. Alternating between two distinct same-bank rows
-	// is what forces an activation per access.
-	unique := make([]RowRef, 0, len(op.Aggressors))
-	seenRows := make(map[RowRef]bool, len(op.Aggressors))
-	for _, ag := range op.Aggressors {
-		if !seenRows[ag] {
-			seenRows[ag] = true
-			unique = append(unique, ag)
+	b := &m.bat
+	b.one[0] = op
+	m.lastFlips = nil
+	if m.deliverSelf == nil {
+		m.deliverSelf = func(_ int, flips []CandidateFlip) error {
+			m.lastFlips = flips
+			return nil
 		}
 	}
-	// Row buffers are per bank: a row alone in its bank stays open
-	// across all accesses and activates only once per refresh window,
-	// far too rarely to disturb neighbours. Only banks with at least
-	// two accessed rows see an activation per access — which is why
-	// the attack must place both aggressors in the same bank.
-	perBank := make(map[int]int)
-	for _, ag := range unique {
-		perBank[ag.Bank]++
-	}
-	active := unique[:0]
-	for _, ag := range unique {
-		if perBank[ag.Bank] >= 2 {
-			active = append(active, ag)
-		}
-	}
-	if len(active) == 0 {
-		return nil
-	}
-
-	// In-DRAM Target Row Refresh neutralizes tracked aggressors
-	// (Section 6 mitigation discussion); only untracked ones disturb
-	// their neighbours.
-	m.ops++
-	var preTRR []RowRef
-	if m.flip != nil {
-		// The flip sink wants the pre-TRR active set for provenance;
-		// copy it before the filter reuses backing storage.
-		preTRR = append(preTRR, active...)
-	}
-	tracked := len(active)
-	active = m.cfg.TRR.trrFilter(active, m.ops)
-	neutCount := tracked - len(active)
-	m.met.trrNeutralized.Add(uint64(neutCount))
-	m.met.trrRefreshes.Add(uint64(neutCount))
-	// neutralized is computed only when a consumer needs it: the flip
-	// sink's provenance stream, or the mitigation-veto audit.
-	var neutralized []RowRef
-	if neutCount > 0 && (m.flip != nil || m.met.trrVetoed != nil) {
-		if preTRR == nil {
-			// Metrics-only path: trrFilter never reorders survivors,
-			// so the difference can be taken against the surviving
-			// set without a pre-copy — but active aliases the same
-			// backing as the pre-set only when TRR is off, and TRR is
-			// on here, so trrFilter returned a fresh slice. Recompute
-			// the pre-set from op.Aggressors' unique active rows.
-			preTRR = make([]RowRef, 0, tracked)
-			for _, ag := range unique {
-				if perBank[ag.Bank] >= 2 {
-					preTRR = append(preTRR, ag)
-				}
-			}
-		}
-		escaped := make(map[RowRef]bool, len(active))
-		for _, ag := range active {
-			escaped[ag] = true
-		}
-		for _, ag := range preTRR {
-			if !escaped[ag] {
-				neutralized = append(neutralized, ag)
-			}
-		}
-	}
-	if len(active) == 0 {
-		// Fully neutralized: no disturbance accumulates, but the
-		// provenance stream and the veto audit still see the op.
-		rounds := op.Rounds
-		if cap := m.windowActivations(); rounds > cap {
-			rounds = cap
-		}
-		if m.flip != nil {
-			m.flip.BeginHammerOp(FlipOpInfo{
-				Aggressors: preTRR, Neutralized: neutralized,
-				Rounds: op.Rounds, WindowRounds: rounds,
-			})
-		}
-		m.auditTRRRefreshed(neutralized, nil, rounds, op.Aggressors)
-		return nil
-	}
-
-	// Per-row activations cannot exceed the refresh-window budget:
-	// beyond it the victim has been refreshed and the leak restarts.
-	rounds := op.Rounds
-	if cap := m.windowActivations(); rounds > cap {
-		rounds = cap
-		m.met.windowClips.Inc()
-	}
-	if m.flip != nil {
-		aggs := preTRR
-		if aggs == nil {
-			aggs = active
-		}
-		m.flip.BeginHammerOp(FlipOpInfo{
-			Aggressors: aggs, Neutralized: neutralized,
-			Rounds: op.Rounds, WindowRounds: rounds,
-		})
-	}
-	if m.sink != nil {
-		// Post-TRR, post-clip: the sink sees the activations that
-		// actually disturb neighbours, which is what a per-row
-		// pressure watchpoint wants to compare against thresholds.
-		for _, ag := range active {
-			m.sink.RecordRowActivations(ag.Bank, ag.Row, int64(rounds))
-		}
-	}
-
-	// Accumulate disturbance per victim row.
-	dist := make(map[rowKey]float64)
-	for _, ag := range active {
-		for _, d := range []int{-2, -1, 1, 2} {
-			v := ag.Row + d
-			if v < 0 || v >= m.Geo.Rows() {
-				continue
-			}
-			w := m.cfg.NeighborWeight1
-			if d == 2 || d == -2 {
-				w = m.cfg.NeighborWeight2
-			}
-			dist[rowKey{ag.Bank, v}] += w * float64(rounds)
-		}
-	}
-	// Aggressor rows themselves are being driven, not disturbed.
-	for _, ag := range op.Aggressors {
-		delete(dist, rowKey{ag.Bank, ag.Row})
-	}
-
-	// Audit what TRR took away before evaluating what leaked through:
-	// cells whose pre-TRR disturbance reached threshold but whose
-	// post-TRR disturbance does not are mitigation-vetoed flips.
-	m.auditTRRRefreshed(neutralized, dist, rounds, op.Aggressors)
-
-	rng := op.rng
-	if rng == nil {
-		var h uint64 = m.cfg.Seed ^ 0xA24BAED4963EE407
-		for _, ag := range op.Aggressors {
-			h = h*0x100000001B3 ^ uint64(ag.Bank)
-			h = h*0x100000001B3 ^ uint64(ag.Row)
-		}
-		h = h*0x100000001B3 ^ uint64(op.Rounds)
-		h = h*0x100000001B3 ^ m.ops
-		rng = rand.New(rand.NewPCG(h, h^0xD6E8FEB86659FD93))
-	}
-
-	// Deterministic victim iteration order.
-	victims := make([]rowKey, 0, len(dist))
-	for k := range dist {
-		victims = append(victims, k)
-	}
-	sort.Slice(victims, func(i, j int) bool {
-		if victims[i].bank != victims[j].bank {
-			return victims[i].bank < victims[j].bank
-		}
-		return victims[i].row < victims[j].row
-	})
-
-	var flips []CandidateFlip
-	for _, v := range victims {
-		disturbance := dist[v]
-		for _, c := range m.VulnerableCells(v.bank, v.row) {
-			if disturbance < c.Threshold {
-				continue
-			}
-			if !c.Stable && rng.Float64() >= c.FlakyP {
-				if m.flip != nil {
-					addr, bit := m.AddrOfCell(v.bank, v.row, c.BitIndex)
-					m.flip.RecordFlipEvent(FlipEvent{
-						Addr: addr, Bit: bit, Direction: c.Direction,
-						Row: RowRef{v.bank, v.row}, Disturbance: disturbance,
-						Threshold: c.Threshold, Verdict: FlipFlakyNoFire,
-					})
-				}
-				continue
-			}
-			addr, bit := m.AddrOfCell(v.bank, v.row, c.BitIndex)
-			flips = append(flips, CandidateFlip{
-				Addr:      addr,
-				Bit:       bit,
-				Direction: c.Direction,
-				Row:       RowRef{v.bank, v.row},
-			})
-			if m.flip != nil {
-				m.flip.RecordFlipEvent(FlipEvent{
-					Addr: addr, Bit: bit, Direction: c.Direction,
-					Row: RowRef{v.bank, v.row}, Disturbance: disturbance,
-					Threshold: c.Threshold, Verdict: FlipFired,
-				})
-			}
-		}
-	}
-	m.met.candFlips.Add(uint64(len(flips)))
-	return flips
-}
-
-// auditTRRRefreshed finds the flips the TRR tracker vetoed in one
-// operation: vulnerable cells whose disturbance would have reached
-// threshold with the neutralized aggressors' contributions restored,
-// but does not without them. It counts them in
-// mitigation_vetoed_flips_total{mitigation="trr"} and streams
-// trr-refreshed events to the flip sink. The audit consumes no RNG
-// draws (flaky cells are reported as vetoed regardless of whether they
-// would have fired: the mitigation removed the opportunity) and runs
-// only when TRR neutralized something and a consumer is attached, so
-// the default presets never pay for it.
-func (m *Module) auditTRRRefreshed(neutralized []RowRef, dist map[rowKey]float64, rounds int, opAggs []RowRef) {
-	if len(neutralized) == 0 || (m.flip == nil && m.met.trrVetoed == nil) {
-		return
-	}
-	// Disturbance the neutralized aggressors would have contributed.
-	neutDist := make(map[rowKey]float64)
-	for _, ag := range neutralized {
-		for _, d := range []int{-2, -1, 1, 2} {
-			v := ag.Row + d
-			if v < 0 || v >= m.Geo.Rows() {
-				continue
-			}
-			w := m.cfg.NeighborWeight1
-			if d == 2 || d == -2 {
-				w = m.cfg.NeighborWeight2
-			}
-			neutDist[rowKey{ag.Bank, v}] += w * float64(rounds)
-		}
-	}
-	for _, ag := range opAggs {
-		delete(neutDist, rowKey{ag.Bank, ag.Row})
-	}
-	victims := make([]rowKey, 0, len(neutDist))
-	for k := range neutDist {
-		victims = append(victims, k)
-	}
-	sort.Slice(victims, func(i, j int) bool {
-		if victims[i].bank != victims[j].bank {
-			return victims[i].bank < victims[j].bank
-		}
-		return victims[i].row < victims[j].row
-	})
-	vetoed := uint64(0)
-	for _, v := range victims {
-		pre := neutDist[v]
-		post := 0.0
-		if dist != nil {
-			post = dist[v]
-		}
-		pre += post
-		for _, c := range m.VulnerableCells(v.bank, v.row) {
-			if pre < c.Threshold || post >= c.Threshold {
-				continue
-			}
-			vetoed++
-			if m.flip != nil {
-				addr, bit := m.AddrOfCell(v.bank, v.row, c.BitIndex)
-				m.flip.RecordFlipEvent(FlipEvent{
-					Addr: addr, Bit: bit, Direction: c.Direction,
-					Row: RowRef{v.bank, v.row}, Disturbance: pre,
-					Threshold: c.Threshold, Verdict: FlipTRRRefreshed,
-				})
-			}
-		}
-	}
-	m.met.trrVetoed.Add(vetoed)
+	// The single-op pipeline cannot fail: errors only come from the
+	// deliver callback.
+	_ = m.runBatch(b.one[:], nil, m.deliverSelf)
+	b.one[0] = HammerOp{}
+	return m.lastFlips
 }
 
 // Activations returns the total DRAM activations an op performs, for

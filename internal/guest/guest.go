@@ -60,6 +60,26 @@ type OS struct {
 	// scanBuf is the reusable hypervisor-level scan buffer behind
 	// AppendMappingChanges; overwritten on every scan.
 	scanBuf []kvm.MappingChange
+
+	// fill/fillFn are the reusable word supplier behind FillPages and
+	// FillPagesSelf — one cached closure reading OS state, so bulk
+	// fills allocate nothing per call.
+	fill   fillCtx
+	fillFn func(k int) uint64
+
+	// gpaScratch/hammerBatch are reusable translation buffers for the
+	// hammer submission paths.
+	gpaScratch  []memdef.GPA
+	hammerBatch []kvm.HammerBatchOp
+}
+
+// fillCtx parameterizes the cached fill-word supplier: a constant
+// word, or (self) each page's own virtual address — the exploit
+// step's page-marking pattern.
+type fillCtx struct {
+	word uint64
+	base memdef.GVA
+	self bool
 }
 
 // Boot initializes the guest OS on a VM: attaches the virtio-mem
@@ -190,6 +210,54 @@ func (os *OS) FillPage(gva memdef.GVA, word uint64) error {
 	return os.vm.FillPageGPA(gpa, word)
 }
 
+// FillPages fills count consecutive 4 KiB pages starting at the
+// page-aligned gva with a repeated word — observationally identical
+// to count FillPage calls (same per-page clock charges, errors at the
+// same page), with the per-page translation overhead amortized per
+// 2 MiB chunk.
+func (os *OS) FillPages(gva memdef.GVA, count int, word uint64) error {
+	os.fill = fillCtx{word: word}
+	return os.fillPages(gva, count)
+}
+
+// FillPagesSelf fills each of count pages from gva with the page's own
+// virtual address — the exploit step's marking pattern, which lets a
+// later read identify which page a remapped translation exposes.
+func (os *OS) FillPagesSelf(gva memdef.GVA, count int) error {
+	os.fill = fillCtx{self: true}
+	return os.fillPages(gva, count)
+}
+
+func (os *OS) fillPages(gva memdef.GVA, count int) error {
+	if os.fillFn == nil {
+		os.fillFn = func(k int) uint64 {
+			if os.fill.self {
+				return uint64(os.fill.base + memdef.GVA(k)*memdef.PageSize)
+			}
+			return os.fill.word
+		}
+	}
+	k := 0
+	for k < count {
+		chunk := memdef.HugeBase(gva)
+		n := int((uint64(chunk) + memdef.HugePageSize - uint64(gva)) / memdef.PageSize)
+		if n > count-k {
+			n = count - k
+		}
+		gpa, err := os.GPAOf(gva)
+		if err != nil {
+			return err
+		}
+		os.fill.base = gva
+		if err := os.vm.FillPagesGPA(gpa, n, os.fillFn); err != nil {
+			return err
+		}
+		gva += memdef.GVA(n) * memdef.PageSize
+		k += n
+	}
+	return nil
+}
+
 // PageUniform reports whether the page at gva holds a single repeated
 // word, and which.
 func (os *OS) PageUniform(gva memdef.GVA) (uint64, bool, error) {
@@ -231,7 +299,7 @@ func (os *OS) Hammer(a, b memdef.GVA, rounds int) error {
 // aggressor set — the TRRespass-style pattern used to overwhelm
 // in-DRAM TRR trackers.
 func (os *OS) HammerMany(addrs []memdef.GVA, rounds int) error {
-	gpas := make([]memdef.GPA, 0, len(addrs))
+	gpas := os.gpaScratch[:0]
 	for _, a := range addrs {
 		gpa, err := os.GPAOf(a)
 		if err != nil {
@@ -239,7 +307,66 @@ func (os *OS) HammerMany(addrs []memdef.GVA, rounds int) error {
 		}
 		gpas = append(gpas, gpa)
 	}
+	os.gpaScratch = gpas[:0]
 	return os.vm.HammerManyGPA(gpas, rounds)
+}
+
+// HammerSpec is one hammer operation for batched submission: an
+// aggressor set in guest virtual addresses, each row activated Rounds
+// times.
+type HammerSpec struct {
+	Aggressors []memdef.GVA
+	Rounds     int
+}
+
+// HammerBatch submits a sequence of hammer operations to the DRAM
+// fault model's batched pipeline in one flush. Results are identical
+// to issuing the ops through Hammer/HammerMany one at a time, except
+// that every op's addresses are checked up front — a bad address
+// surfaces before any op runs rather than between ops (see
+// kvm.HammerBatchGPA for the full contract, including mid-batch
+// crash and translation-divergence handling).
+func (os *OS) HammerBatch(specs []HammerSpec) error {
+	batch := os.hammerBatch[:0]
+	gpas := os.gpaScratch[:0]
+	for _, sp := range specs {
+		off := len(gpas)
+		for _, a := range sp.Aggressors {
+			gpa, err := os.GPAOf(a)
+			if err != nil {
+				return err
+			}
+			gpas = append(gpas, gpa)
+		}
+		batch = append(batch, kvm.HammerBatchOp{
+			Aggressors: gpas[off:len(gpas):len(gpas)],
+			Rounds:     sp.Rounds,
+		})
+	}
+	os.gpaScratch, os.hammerBatch = gpas, batch
+	return os.vm.HammerBatchGPA(batch)
+}
+
+// HammerScanPairs drives the profile sweep's hammer-then-scan loop:
+// each (a, b) pair is hammered for rounds, the guest's memory is
+// scanned, and each(i, flips) receives the new flips. The callback
+// may hammer again itself (stability retests interleave their own
+// operation nonces, which is why this loop cannot fold the pairs into
+// one DRAM batch); returning stop=true ends the sweep early.
+func (os *OS) HammerScanPairs(pairs [][2]memdef.GVA, rounds int, each func(i int, flips []Flip) (stop bool, err error)) error {
+	for i, p := range pairs {
+		if err := os.Hammer(p[0], p[1], rounds); err != nil {
+			return err
+		}
+		stop, err := each(i, os.ScanForFlips())
+		if err != nil {
+			return err
+		}
+		if stop {
+			return nil
+		}
+	}
+	return nil
 }
 
 // TriggerMultihitDoS attempts the iTLB Multihit denial of service

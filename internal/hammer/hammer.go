@@ -93,15 +93,12 @@ func Search(os *guest.OS, cfg Config, patterns []Pattern) ([]Result, error) {
 
 	const pattern = 0x5555555555555555
 	fill := func() error {
-		for p := 0; p < n*memdef.PagesPerHuge; p++ {
-			if err := os.FillPage(base+memdef.GVA(p)*memdef.PageSize, pattern); err != nil {
-				return err
-			}
-		}
-		return nil
+		return os.FillPages(base, n*memdef.PagesPerHuge, pattern)
 	}
 
 	var out []Result
+	var specs []guest.HammerSpec
+	var gvas []memdef.GVA
 	for _, pat := range patterns {
 		span := cfg.Trace.StartSpan("hammer.pattern", "pattern", pat.Name, "rounds", pat.Rounds)
 		if err := fill(); err != nil {
@@ -111,14 +108,25 @@ func Search(os *guest.OS, cfg Config, patterns []Pattern) ([]Result, error) {
 		os.ScanForFlips() // drain stale observations
 		res := Result{Pattern: pat}
 		// One run across the whole buffer, bank class 0 only: the
-		// search gauges pattern effectiveness, not coverage.
+		// search gauges pattern effectiveness, not coverage. No scans
+		// happen between the per-hugepage runs, so the sweep is one
+		// batched submission.
 		aggr := aggressorsFor(cfg, pat)
+		if len(aggr) == 0 {
+			err := fmt.Errorf("hammer: pattern has no aggressors")
+			span.End("err", err)
+			return nil, err
+		}
+		specs, gvas = specs[:0], gvas[:0]
 		for hp := 0; hp < n; hp++ {
 			hugeBase := base + memdef.GVA(hp)*memdef.HugePageSize
-			if err := hammerOnce(os, hugeBase, aggr, pat.Rounds); err != nil {
-				span.End("err", err)
-				return nil, err
-			}
+			off := len(gvas)
+			gvas = appendAggressors(gvas, hugeBase, aggr)
+			specs = append(specs, guest.HammerSpec{Aggressors: gvas[off:len(gvas):len(gvas)], Rounds: pat.Rounds})
+		}
+		if err := os.HammerBatch(specs); err != nil {
+			span.End("err", err)
+			return nil, err
 		}
 		flips := os.ScanForFlips()
 		res.Flips = len(flips)
@@ -193,10 +201,26 @@ func bankClass(masks []uint64, off uint64) int {
 	return cls
 }
 
-// hammerOnce drives the aggressor set. Patterns with one aggressor
-// hammer it against itself (classic single-row hammering is strictly
-// weaker — the row buffer stays open — which the search should
-// discover); wider sets run the many-sided loop.
+// appendAggressors appends the pattern's guest addresses for one
+// hugepage, mirroring hammerOnce's shapes: a single aggressor is
+// doubled ([a, a]) so the batched op hashes to the same RNG stream as
+// os.Hammer(a, a, ...).
+func appendAggressors(dst []memdef.GVA, hugeBase memdef.GVA, aggrOffsets []uint64) []memdef.GVA {
+	if len(aggrOffsets) == 1 {
+		a := hugeBase + memdef.GVA(aggrOffsets[0])
+		return append(dst, a, a)
+	}
+	for _, off := range aggrOffsets {
+		dst = append(dst, hugeBase+memdef.GVA(off))
+	}
+	return dst
+}
+
+// hammerOnce drives the aggressor set for the reproducibility retests.
+// Patterns with one aggressor hammer it against itself (classic
+// single-row hammering is strictly weaker — the row buffer stays open
+// — which the search should discover); wider sets run the many-sided
+// loop.
 func hammerOnce(os *guest.OS, hugeBase memdef.GVA, aggrOffsets []uint64, rounds int) error {
 	switch len(aggrOffsets) {
 	case 0:

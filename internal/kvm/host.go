@@ -23,6 +23,7 @@ import (
 	"hyperhammer/internal/metrics"
 	"hyperhammer/internal/obs"
 	"hyperhammer/internal/phys"
+	"hyperhammer/internal/sched"
 	"hyperhammer/internal/simtime"
 	"hyperhammer/internal/trace"
 	"hyperhammer/internal/virtio"
@@ -95,6 +96,12 @@ type Config struct {
 	// DRAM module's flip sink, and every flip the host commits (or a
 	// mitigation vetoes) is resolved to a verdict and an owning frame.
 	Forensics *forensics.Recorder
+	// DRAMShardWorkers, when > 1, shards the DRAM module's batched
+	// per-bank threshold-crossing pass across that many sched workers.
+	// The per-bank work is pure and the merge is index-ordered, so
+	// results are byte-identical to the sequential pass at any worker
+	// count (dram.TestHammerBatchSharded pins this).
+	DRAMShardWorkers int
 }
 
 // DefaultConfig returns an S1-like host: i3-10100 geometry, S1 fault
@@ -142,8 +149,11 @@ type Host struct {
 
 	// tableOwner maps every live EPT/IOPT table frame to the VM whose
 	// translations it serves, for TLB-coherence on writes and for
-	// instrumentation.
+	// instrumentation. tableBits mirrors its key set as a bitset so
+	// the write hot path (noteWrite, once per filled page) answers
+	// "not a table frame" without a map lookup.
 	tableOwner map[memdef.PFN]*VM
+	tableBits  []uint64
 
 	// releasedLog records, in order, the base PFNs of order-9 blocks
 	// that VMs released through virtio-mem — the paper's added
@@ -238,8 +248,12 @@ func NewHost(cfg Config) (*Host, error) {
 		tableOwner: make(map[memdef.PFN]*VM),
 		met:        newHostMetrics(cfg.Metrics),
 	}
+	h.tableBits = make([]uint64, (h.Mem.Frames()+63)/64)
 	cfg.Metrics.BindClock(h.Clock)
 	h.DRAM.SetMetrics(cfg.Metrics)
+	if cfg.DRAMShardWorkers > 1 {
+		h.DRAM.SetShardRunner(sched.New(cfg.DRAMShardWorkers))
+	}
 	h.Buddy.SetMetrics(cfg.Metrics)
 	if err := h.bootNoise(); err != nil {
 		return nil, err
@@ -388,17 +402,47 @@ func (h *Host) PlantSecret(value uint64) memdef.HPA {
 }
 
 // registerTable records t as a live table frame serving vm.
-func (h *Host) registerTable(p memdef.PFN, vm *VM) { h.tableOwner[p] = vm }
+func (h *Host) registerTable(p memdef.PFN, vm *VM) {
+	h.tableOwner[p] = vm
+	h.tableBits[p>>6] |= 1 << (uint(p) & 63)
+}
 
-func (h *Host) unregisterTable(p memdef.PFN) { delete(h.tableOwner, p) }
+func (h *Host) unregisterTable(p memdef.PFN) {
+	delete(h.tableOwner, p)
+	h.tableBits[p>>6] &^= 1 << (uint(p) & 63)
+}
+
+// isTableFrame answers via the bitset, without touching the map.
+func (h *Host) isTableFrame(p memdef.PFN) bool {
+	return h.tableBits[p>>6]&(1<<(uint(p)&63)) != 0
+}
 
 // noteWrite maintains TLB coherence: a write that lands in a live
 // table frame invalidates the owning VM's cached translations, the
 // way a hardware page-table write eventually invalidates TLB entries.
-func (h *Host) noteWrite(a memdef.HPA) {
-	if vm, ok := h.tableOwner[memdef.PFNOf(a)]; ok {
-		vm.flushTLB()
+// Reports whether a flush happened.
+func (h *Host) noteWrite(a memdef.HPA) bool {
+	p := memdef.PFNOf(a)
+	if !h.isTableFrame(p) {
+		return false
 	}
+	if vm, ok := h.tableOwner[p]; ok {
+		vm.flushTLB()
+		return true
+	}
+	return false
+}
+
+// flipsHitTables reports whether any candidate flip landed in a live
+// translation-table frame — the only way an applied flip can change a
+// later address translation.
+func (h *Host) flipsHitTables(flips []dram.CandidateFlip) bool {
+	for _, f := range flips {
+		if h.isTableFrame(memdef.PFNOf(f.Addr)) {
+			return true
+		}
+	}
+	return false
 }
 
 // applyFlips commits candidate flips from the DRAM fault model to

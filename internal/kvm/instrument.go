@@ -110,13 +110,19 @@ func (vm *VM) ChangedMappings() []MappingChange {
 // step's repeated post-probe rescans. The chunk-ordering scratch is
 // VM-owned and reused across calls.
 func (vm *VM) AppendChangedMappings(out []MappingChange) []MappingChange {
-	chunks := vm.scanChunks[:0]
-	for gpa := range vm.backing {
-		chunks = append(chunks, gpa)
+	// The sorted chunk list changes only when plug/unplug changes the
+	// backing map's key set; between those events (every post-probe
+	// rescan of the exploit step) the cached order is reused.
+	if vm.scanDirty || len(vm.scanChunks) != len(vm.backing) {
+		chunks := vm.scanChunks[:0]
+		for gpa := range vm.backing {
+			chunks = append(chunks, gpa)
+		}
+		sort.Slice(chunks, func(i, j int) bool { return chunks[i] < chunks[j] })
+		vm.scanChunks = chunks
+		vm.scanDirty = false
 	}
-	sort.Slice(chunks, func(i, j int) bool { return chunks[i] < chunks[j] })
-	vm.scanChunks = chunks
-	for _, chunk := range chunks {
+	for _, chunk := range vm.scanChunks {
 		cb := vm.backing[chunk]
 		tr, err := vm.ept.Translate(uint64(chunk))
 		if err != nil {

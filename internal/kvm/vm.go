@@ -105,8 +105,18 @@ type VM struct {
 	netBuffers []memdef.PFN
 
 	// scanChunks is AppendChangedMappings' reusable chunk-ordering
-	// scratch.
+	// scratch; scanDirty marks it stale after plug/unplug changes the
+	// backing map's key set.
 	scanChunks []memdef.GPA
+	scanDirty  bool
+
+	// aggScratch is HammerManyGPA's reusable aggressor buffer (the
+	// DRAM module does not retain it past the call).
+	aggScratch []dram.RowRef
+	// batchRefs/batchOps are HammerBatchGPA's reusable translation
+	// buffers.
+	batchRefs []dram.RowRef
+	batchOps  []dram.HammerOp
 
 	destroyed bool
 }
@@ -285,6 +295,7 @@ func (b *vmMemBackend) PlugRange(gpa memdef.GPA, size uint64) error {
 		}
 		vm.backing[gpa] = &chunkBacking{huge: true, frames: []memdef.PFN{base}}
 		vm.reverse[base] = gpa
+		vm.scanDirty = true
 		vm.flushChunk(gpa)
 		return nil
 	}
@@ -304,6 +315,7 @@ func (b *vmMemBackend) PlugRange(gpa memdef.GPA, size uint64) error {
 		vm.reverse[p] = gpa
 	}
 	vm.backing[gpa] = &chunkBacking{frames: frames}
+	vm.scanDirty = true
 	vm.flushChunk(gpa)
 	return nil
 }
@@ -350,6 +362,7 @@ func (b *vmMemBackend) UnplugRange(gpa memdef.GPA, size uint64) error {
 		}
 	}
 	delete(vm.backing, gpa)
+	vm.scanDirty = true
 	vm.flushChunk(gpa)
 	return nil
 }
@@ -379,6 +392,16 @@ func (vm *VM) translate(gpa memdef.GPA) (memdef.HPA, error) {
 	if vm.host.crashed {
 		return 0, ErrHostDown
 	}
+	e, err := vm.chunkEntry(gpa)
+	if err != nil {
+		return 0, err
+	}
+	return vm.resolveInChunk(e, gpa)
+}
+
+// chunkEntry resolves (and caches) the location of the translation
+// structure for the 2 MiB chunk containing gpa.
+func (vm *VM) chunkEntry(gpa memdef.GPA) (tlbEntry, error) {
 	chunk := memdef.HugeBase(gpa)
 	e, ok := vm.tlb[chunk]
 	if !ok {
@@ -386,11 +409,11 @@ func (vm *VM) translate(gpa memdef.GPA) (memdef.HPA, error) {
 		if err != nil {
 			switch {
 			case errors.Is(err, ept.ErrNotMapped):
-				return 0, ErrFault
+				return tlbEntry{}, ErrFault
 			case errors.Is(err, ept.ErrMisconfigured):
-				return 0, ErrMachineCheck
+				return tlbEntry{}, ErrMachineCheck
 			default:
-				return 0, err
+				return tlbEntry{}, err
 			}
 		}
 		if tr.Level == 2 {
@@ -400,8 +423,15 @@ func (vm *VM) translate(gpa memdef.GPA) (memdef.HPA, error) {
 		}
 		vm.tlb[chunk] = e
 	}
+	return e, nil
+}
+
+// resolveInChunk finishes a translation below an already-resolved
+// chunk entry. Split chunks re-read their leaf EPTE from memory here,
+// on every access.
+func (vm *VM) resolveInChunk(e tlbEntry, gpa memdef.GPA) (memdef.HPA, error) {
 	if e.huge {
-		return e.basePFN.HPAOf() + memdef.HPA(gpa-chunk), nil
+		return e.basePFN.HPAOf() + memdef.HPA(gpa-memdef.HugeBase(gpa)), nil
 	}
 	idx := int(uint64(gpa)>>memdef.PageShift) & (memdef.EntriesPerTable - 1)
 	entry := ept.Entry(vm.host.Mem.PageWord(e.leafTable, idx))
@@ -451,6 +481,47 @@ func (vm *VM) FillPageGPA(gpa memdef.GPA, word uint64) error {
 	p := memdef.PFNOf(hpa)
 	vm.host.Mem.FillWord(p, word)
 	vm.host.noteWrite(hpa)
+	return nil
+}
+
+// FillPagesGPA fills count consecutive 4 KiB guest pages starting at
+// the page-aligned gpa, page k with wordAt(k). Observationally
+// identical to count FillPageGPA calls — errors surface at the same
+// page, each page charges one page-write before its contents change,
+// and a write landing in a live table frame invalidates cached
+// translations before the next page resolves — but the chunk-level
+// translation is looked up once per 2 MiB run instead of per page.
+func (vm *VM) FillPagesGPA(gpa memdef.GPA, count int, wordAt func(k int) uint64) error {
+	h := vm.host
+	k := 0
+	for k < count {
+		if h.crashed {
+			return ErrHostDown
+		}
+		e, err := vm.chunkEntry(gpa)
+		if err != nil {
+			return err
+		}
+		chunk := memdef.HugeBase(gpa)
+		n := int((uint64(chunk) + memdef.HugePageSize - uint64(gpa)) / memdef.PageSize)
+		if n > count-k {
+			n = count - k
+		}
+		flushed := false
+		for j := 0; j < n && !flushed; j++ {
+			hpa, err := vm.resolveInChunk(e, gpa)
+			if err != nil {
+				return err
+			}
+			h.Clock.Advance(simtime.PageWrite)
+			h.Mem.FillWord(memdef.PFNOf(hpa), wordAt(k))
+			// A fill that hits a live table frame flushes cached
+			// translations; drop the chunk entry and re-resolve.
+			flushed = h.noteWrite(hpa)
+			gpa += memdef.PageSize
+			k++
+		}
+	}
 	return nil
 }
 
@@ -523,7 +594,7 @@ func (vm *VM) HammerGPA(a, b memdef.GPA, rounds int) error {
 // style many-sided access loop used to overwhelm in-DRAM TRR trackers.
 func (vm *VM) HammerManyGPA(addrs []memdef.GPA, rounds int) error {
 	geo := vm.host.DRAM.Geo
-	op := dram.HammerOp{Rounds: rounds}
+	op := dram.HammerOp{Rounds: rounds, Aggressors: vm.aggScratch[:0]}
 	for _, a := range addrs {
 		hpa, err := vm.translate(a)
 		if err != nil {
@@ -533,11 +604,100 @@ func (vm *VM) HammerManyGPA(addrs []memdef.GPA, rounds int) error {
 			Bank: geo.Bank(hpa), Row: geo.Row(hpa),
 		})
 	}
+	vm.aggScratch = op.Aggressors[:0]
 	vm.host.met.hammerOps.Inc()
 	vm.host.met.hammerRounds.Add(uint64(rounds))
 	vm.host.met.hammerActs.Add(uint64(op.Activations()))
 	vm.host.Clock.Charge(op.Activations(), simtime.RowActivation)
 	vm.host.applyFlips(vm.host.DRAM.Hammer(op))
+	return nil
+}
+
+// HammerBatchOp is one hammer operation on the batched submission
+// path, named by guest physical addresses.
+type HammerBatchOp struct {
+	Aggressors []memdef.GPA
+	Rounds     int
+}
+
+// HammerBatchGPA submits a batch of hammer operations to the DRAM
+// fault model's batched pipeline. Results — flips applied, metrics,
+// sim-clock charges, forensics lineage — are identical to submitting
+// the ops through HammerManyGPA one at a time, with two narrow,
+// loudly-handled exceptions inherent to eager translation:
+//
+//   - every op's aggressors are translated up front, so an address
+//     error surfaces before any op runs instead of after the earlier
+//     ops completed;
+//
+//   - if a mid-batch flip lands in a live translation-table frame,
+//     the remaining ops' pre-translated rows are re-checked against a
+//     fresh translation and the batch aborts with an explicit
+//     divergence error if any moved (sequential submission would
+//     silently hammer the new rows).
+//
+// A host crash (ECC machine check) mid-batch aborts the remaining
+// ops with ErrHostDown, exactly where sequential submission's next
+// translate would have failed.
+func (vm *VM) HammerBatchGPA(batch []HammerBatchOp) error {
+	h := vm.host
+	geo := h.DRAM.Geo
+	refs := vm.batchRefs[:0]
+	dops := vm.batchOps[:0]
+	for _, b := range batch {
+		off := len(refs)
+		for _, a := range b.Aggressors {
+			hpa, err := vm.translate(a)
+			if err != nil {
+				return err
+			}
+			refs = append(refs, dram.RowRef{Bank: geo.Bank(hpa), Row: geo.Row(hpa)})
+		}
+		dops = append(dops, dram.HammerOp{
+			Aggressors: refs[off:len(refs):len(refs)],
+			Rounds:     b.Rounds,
+		})
+	}
+	vm.batchRefs, vm.batchOps = refs, dops
+	pre := func(i int) {
+		h.met.hammerOps.Inc()
+		h.met.hammerRounds.Add(uint64(dops[i].Rounds))
+		h.met.hammerActs.Add(uint64(dops[i].Activations()))
+		h.Clock.Charge(dops[i].Activations(), simtime.RowActivation)
+	}
+	deliver := func(i int, flips []dram.CandidateFlip) error {
+		applied := h.applyFlips(flips)
+		if h.crashed && i < len(dops)-1 {
+			return ErrHostDown
+		}
+		if applied > 0 && i < len(dops)-1 && h.flipsHitTables(flips) {
+			if err := vm.verifyBatchTranslations(batch, dops, i+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return h.DRAM.HammerBatchFunc(dops, pre, deliver)
+}
+
+// verifyBatchTranslations re-translates the remaining ops' aggressors
+// after a flip corrupted a live table frame, comparing against the
+// batch's eager translation. Any movement means the batch can no
+// longer reproduce sequential submission and must abort.
+func (vm *VM) verifyBatchTranslations(batch []HammerBatchOp, dops []dram.HammerOp, from int) error {
+	geo := vm.host.DRAM.Geo
+	for i := from; i < len(batch); i++ {
+		for j, a := range batch[i].Aggressors {
+			hpa, err := vm.translate(a)
+			if err != nil {
+				return fmt.Errorf("kvm: hammer batch diverged at op %d (%#x): %w", i, uint64(a), err)
+			}
+			got := dram.RowRef{Bank: geo.Bank(hpa), Row: geo.Row(hpa)}
+			if got != dops[i].Aggressors[j] {
+				return fmt.Errorf("kvm: hammer batch diverged at op %d: aggressor %#x translation moved", i, uint64(a))
+			}
+		}
+	}
 	return nil
 }
 
