@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race vet lint bench bench-short bench-verify tables demo fuzz profile-gate parallel-gate history-gate hotpath-gate clean
+.PHONY: all build test test-short test-race vet lint bench bench-short bench-verify tables demo fuzz profile-gate parallel-gate history-gate hotpath-gate ledger-gate clean
 
 all: build vet test
 
@@ -136,6 +136,29 @@ hotpath-gate:
 	$(GO) run ./cmd/hh-hotpath -committed bench_output.txt -fresh hotpath_bench.txt \
 		-zero-alloc BenchmarkHammerOp,BenchmarkHammerBatch -compare BenchmarkTable3AttackCost -bench-tol 0.25
 	rm -f hotpath_bench.txt
+
+# Determinism-ledger gate: the short matrix run twice with the ledger
+# on must produce identical fingerprint trails (hh-bisect exit 0, and
+# hh-diff holds the ledger section at zero tolerance); a campaign with
+# a perturbed hammer budget must be flagged (hh-bisect exit 1) and
+# localized to the expected stream and epoch — the drift first touches
+# the DRAM row-activation stream in the first hammering epoch. The
+# campaigns' own exit statuses are ignored (2 attempts rarely escape;
+# the artifact is written on every exit path).
+ledger-gate:
+	$(GO) build -o bin/ ./cmd/hh-tables ./cmd/hyperhammer ./cmd/hh-bisect ./cmd/hh-diff
+	bin/hh-tables -short -all -parallel 4 -ledger-epoch 250ms -artifact led_a.json > /dev/null
+	bin/hh-tables -short -all -parallel 4 -ledger-epoch 250ms -artifact led_b.json > /dev/null
+	bin/hh-bisect led_a.json led_b.json
+	bin/hh-diff led_a.json led_b.json
+	bin/hyperhammer -short -attempts 2 -ledger-epoch 100ms -artifact led_c.json > /dev/null || true
+	bin/hyperhammer -short -attempts 2 -ledger-epoch 100ms -hammer-rounds 400000 -artifact led_d.json > /dev/null || true
+	if bin/hh-bisect led_c.json led_d.json > ledger_drift.txt; then \
+		echo "ledger-gate: hh-bisect failed to flag the perturbed run"; cat ledger_drift.txt; exit 1; fi
+	grep -q 'dram\.row diverged first' ledger_drift.txt
+	grep -q ', epoch 1$$' ledger_drift.txt
+	rm -f led_a.json led_b.json led_c.json led_d.json ledger_drift.txt
+	@echo "ledger-gate: ledgers identical across same-seed runs; drift localized"
 
 # Brief fuzzing pass over the fuzz targets.
 fuzz:

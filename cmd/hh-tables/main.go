@@ -58,6 +58,7 @@ func main() {
 	storeDir := flag.String("store", "", "ingest the run bundle into this run-history store directory (config-hash indexed; hh-trend folds the stored history into cross-run trends)")
 	chromePath := flag.String("chrome-trace", "", "write the host-cost schedule as Chrome trace_event JSON (loadable in Perfetto / chrome://tracing) to this file")
 	parallel := flag.Int("parallel", 0, "worker-pool size for independent experiment units (0 = GOMAXPROCS, 1 = sequential; results are identical at any setting)")
+	ledgerEpoch := flag.Duration("ledger-epoch", 0, "seal determinism-ledger fingerprint epochs at this simulated interval (0 disables the ledger entirely; hh-bisect localizes divergence between two ledgered artifacts)")
 	flag.Var(&tables, "table", "table number to reproduce (repeatable: 1, 2, 3)")
 	flag.Parse()
 
@@ -152,6 +153,14 @@ func main() {
 	if *obsAddr != "" || archive {
 		o.Forensics = hyperhammer.NewForensics(hyperhammer.ForensicsConfig{})
 	}
+	// The determinism ledger is strictly opt-in (unlike the planes
+	// above): leaving it off keeps archived baselines byte-identical
+	// with pre-ledger builds. Every unit folds into a scoped recorder,
+	// absorbed in declaration order, so the ledger is byte-identical at
+	// any -parallel.
+	if *ledgerEpoch > 0 {
+		o.Ledger = hyperhammer.NewLedger(hyperhammer.LedgerConfig{Epoch: *ledgerEpoch})
+	}
 	var profiler *hyperhammer.CostProfiler
 	if archive {
 		// The profiler is NOT attached as a sink on the shared
@@ -189,6 +198,7 @@ func main() {
 		plane.AttachProfile(profiler)
 		plane.SetInspector(o.Inspect)
 		plane.SetForensics(o.Forensics)
+		plane.SetLedger(o.Ledger)
 		o.Obs = plane
 		// Units run hosts with Obs unset, so nothing ever taps the
 		// shared recorder implicitly; tap it here so absorbed unit
@@ -234,6 +244,10 @@ func main() {
 		a.SetProfile(profiler.Snapshot())
 		a.SetInspector(o.Inspect)
 		a.SetForensics(o.Forensics)
+		a.SetLedger(o.Ledger)
+		if o.Ledger != nil {
+			a.Config["ledger-epoch"] = ledgerEpoch.String()
+		}
 		if p.Schedule() != nil {
 			a.SetPlan(p.PlanReport())
 		}

@@ -47,6 +47,7 @@ func main() {
 	hammerRounds := flag.Int("hammer-rounds", 0, "activation budget per hammer pattern (0 = attack default)")
 	parallel := flag.Int("parallel", 1, "accepted for CLI symmetry with hh-tables and recorded in the artifact; the single campaign is one serial unit, so it does not change execution")
 	chromeTrace := flag.String("chrome-trace", "", "write the host-cost schedule as Chrome trace_event JSON to this file (load in Perfetto or chrome://tracing)")
+	ledgerEpoch := flag.Duration("ledger-epoch", 0, "seal determinism-ledger fingerprint epochs at this simulated interval (0 disables the ledger entirely; hh-bisect localizes divergence between two ledgered artifacts)")
 	flag.Parse()
 
 	// -artifact and -store both archive the run bundle (to a file, to
@@ -157,6 +158,16 @@ func main() {
 		hostCfg.Forensics = forensicsRec
 	}
 
+	// The determinism ledger is strictly opt-in: unlike the planes
+	// above it exists to detect drift between deliberate runs, and
+	// leaving it off keeps archived baselines byte-identical with
+	// pre-ledger builds.
+	var ledgerRec *hyperhammer.LedgerRecorder
+	if *ledgerEpoch > 0 {
+		ledgerRec = hyperhammer.NewLedger(hyperhammer.LedgerConfig{Epoch: *ledgerEpoch})
+		hostCfg.Ledger = ledgerRec
+	}
+
 	var profiler *hyperhammer.CostProfiler
 	if archive {
 		profiler = hyperhammer.NewCostProfiler(reg)
@@ -173,6 +184,7 @@ func main() {
 		plane.AttachProfile(profiler) // nil profiler → /api/profile serves empty
 		plane.SetInspector(inspector)
 		plane.SetForensics(forensicsRec)
+		plane.SetLedger(ledgerRec)
 		hostCfg.Obs = plane
 		var err error
 		if srv, err = plane.Serve(*obsAddr); err != nil {
@@ -246,6 +258,10 @@ func main() {
 		a.SetProfile(profiler.Snapshot())
 		a.SetInspector(inspector)
 		a.SetForensics(forensicsRec)
+		a.SetLedger(ledgerRec)
+		if ledgerRec != nil {
+			a.Config["ledger-epoch"] = ledgerEpoch.String()
+		}
 		if sc := hostSched.Load(); sc != nil {
 			a.SetPlan(hyperhammer.BuildPlanReport(sc))
 		}

@@ -18,6 +18,7 @@ import (
 	"hyperhammer/internal/forensics"
 	"hyperhammer/internal/inspect"
 	"hyperhammer/internal/kvm"
+	"hyperhammer/internal/ledger"
 	"hyperhammer/internal/memdef"
 	"hyperhammer/internal/metrics"
 	"hyperhammer/internal/obs"
@@ -69,6 +70,13 @@ type Options struct {
 	// owners, and outcome taxonomies. Units run against scoped recorders
 	// absorbed in declaration order, like Inspect.
 	Forensics *forensics.Recorder
+	// Ledger, when non-nil, is the determinism-ledger plane every booted
+	// host feeds: rolling per-stream fingerprints of RNG draws, DRAM
+	// row/flip events, allocator traffic, EPT and guest-mapping
+	// mutations, and attack outcomes, sealed into sim-time epochs. Units
+	// run against scoped recorders absorbed in declaration order, so the
+	// ledger is byte-identical at every Parallel setting.
+	Ledger *ledger.Recorder
 }
 
 // DefaultOptions returns the full-scale deterministic defaults.
@@ -218,6 +226,7 @@ func (o Options) newHost(sys System) (*kvm.Host, error) {
 		Obs:            o.Obs,
 		Inspect:        o.Inspect,
 		Forensics:      o.Forensics,
+		Ledger:         o.Ledger,
 		// Intra-host parallelism rides the same -parallel knob as the
 		// experiment engine: the DRAM module shards its batched
 		// per-bank pass without perturbing any deterministic stream.

@@ -5,6 +5,7 @@ import (
 
 	"hyperhammer/internal/forensics"
 	"hyperhammer/internal/inspect"
+	"hyperhammer/internal/ledger"
 	"hyperhammer/internal/metrics"
 	"hyperhammer/internal/profile"
 	"hyperhammer/internal/sched"
@@ -69,6 +70,7 @@ type unitScope struct {
 	prof *profile.Builder
 	ins  *inspect.Inspector
 	fr   *forensics.Recorder
+	led  *ledger.Recorder
 }
 
 // unitResult pairs a unit's value with its scope for the merge step.
@@ -117,7 +119,8 @@ func (p *Plan) add(name string, run func(Options) (any, error), store func(any))
 			uo := parent
 			var scope *unitScope
 			if parent.Trace != nil || parent.Metrics != nil || parent.Obs != nil ||
-				parent.Inspect != nil || parent.Forensics != nil || profiler != nil {
+				parent.Inspect != nil || parent.Forensics != nil ||
+				parent.Ledger != nil || profiler != nil {
 				scope = &unitScope{}
 				if parent.Trace != nil || profiler != nil || parent.Inspect != nil {
 					scope.tr = trace.NewCapture()
@@ -131,11 +134,13 @@ func (p *Plan) add(name string, run func(Options) (any, error), store func(any))
 				}
 				scope.ins = parent.Inspect.Scoped()
 				scope.fr = parent.Forensics.Scoped()
+				scope.led = parent.Ledger.Scoped()
 				uo.Trace = scope.tr
 				uo.Metrics = scope.reg
 				uo.Obs = nil
 				uo.Inspect = scope.ins
 				uo.Forensics = scope.fr
+				uo.Ledger = scope.led
 			}
 			v, err := run(uo)
 			return unitResult{v: v, scope: scope}, err
@@ -249,6 +254,7 @@ func (p *Plan) mergeScope(name string, s *unitScope) {
 	}
 	p.o.Inspect.Absorb(s.ins, name)
 	p.o.Forensics.Absorb(s.fr, name)
+	p.o.Ledger.Absorb(s.led, name)
 	p.o.Obs.SampleUnit(name)
 }
 

@@ -45,6 +45,7 @@ import (
 	"hyperhammer/internal/hostload"
 	"hyperhammer/internal/inspect"
 	"hyperhammer/internal/kvm"
+	"hyperhammer/internal/ledger"
 	"hyperhammer/internal/memdef"
 	"hyperhammer/internal/metrics"
 	"io"
@@ -226,6 +227,30 @@ type ForensicsSnapshot = forensics.Snapshot
 
 // NewForensics creates a flip-provenance recorder.
 func NewForensics(cfg ForensicsConfig) *ForensicsRecorder { return forensics.New(cfg) }
+
+// LedgerRecorder is the determinism-ledger plane: rolling per-stream
+// fingerprints of every deterministic event source (RNG draws, DRAM
+// row/flip events, allocator traffic, EPT and guest-mapping mutations,
+// attack outcomes), sealed into sim-time epochs. Install one via
+// HostConfig.Ledger (every host boot binds its clock and resolves the
+// subsystem streams), serve it live with ObsPlane.SetLedger, and embed
+// its snapshot in a RunArtifact with RunArtifact.SetLedger for
+// cmd/hh-bisect to localize divergence offline.
+type LedgerRecorder = ledger.Recorder
+
+// LedgerConfig tunes a LedgerRecorder (epoch interval, epoch cap); the
+// zero value records final fingerprints only, sealing no epochs.
+type LedgerConfig = ledger.Config
+
+// LedgerSnapshot is one serialized view of a LedgerRecorder.
+type LedgerSnapshot = ledger.Snapshot
+
+// NewLedger creates a determinism-ledger recorder.
+func NewLedger(cfg LedgerConfig) *LedgerRecorder { return ledger.New(cfg) }
+
+// BisectLedgers localizes the first divergence between two ledger
+// snapshots (nil when they agree) — the comparison behind cmd/hh-bisect.
+func BisectLedgers(a, b *LedgerSnapshot) *ledger.Divergence { return ledger.Bisect(a, b) }
 
 // CostProfiler folds the span trace into a per-phase simulated-time
 // cost profile (see internal/profile). Attach one to a trace recorder

@@ -7,6 +7,7 @@ import (
 	"hyperhammer/internal/forensics"
 	"hyperhammer/internal/guest"
 	"hyperhammer/internal/kvm"
+	"hyperhammer/internal/ledger"
 	"hyperhammer/internal/memdef"
 	"hyperhammer/internal/simtime"
 )
@@ -124,6 +125,9 @@ func RunCampaign(h *kvm.Host, ccfg CampaignConfig) (*CampaignResult, error) {
 	if ccfg.Attack.Forensics == nil {
 		ccfg.Attack.Forensics = h.Config().Forensics
 	}
+	if ccfg.Attack.Ledger == nil {
+		ccfg.Attack.Ledger = h.Config().Ledger
+	}
 	ccfg.Attack.Forensics.BeginCampaign(ccfg.MaxAttempts)
 	defer ccfg.Attack.Forensics.EndCampaign()
 	res := &CampaignResult{}
@@ -240,6 +244,7 @@ func runAttempt(h *kvm.Host, ccfg CampaignConfig, bits []physicalBit, index int)
 		if stats.Outcome == "" {
 			stats.Outcome = forensics.OutcomeError
 		}
+		ccfg.Attack.Ledger.Stream("attack.outcome").Fold2(uint64(index), ledger.HashString(stats.Outcome))
 		ccfg.Attack.Forensics.EndAttempt(forensics.AttemptFacts{
 			Index:          index,
 			Outcome:        stats.Outcome,

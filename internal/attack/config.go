@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"hyperhammer/internal/forensics"
+	"hyperhammer/internal/ledger"
 	"hyperhammer/internal/memdef"
 	"hyperhammer/internal/metrics"
 	"hyperhammer/internal/trace"
@@ -105,6 +106,10 @@ type Config struct {
 	// per-attempt outcome facts for the flip-provenance plane.
 	// RunCampaign defaults it to the host's recorder.
 	Forensics *forensics.Recorder
+	// Ledger, when non-nil, receives each attempt's (index, outcome)
+	// pair on the "attack.outcome" determinism stream. RunCampaign
+	// defaults it to the host's recorder.
+	Ledger *ledger.Recorder
 }
 
 // PhaseBuckets is the attack_phase_seconds histogram layout: the

@@ -17,8 +17,17 @@ import (
 	"fmt"
 	"strconv"
 
+	"hyperhammer/internal/ledger"
 	"hyperhammer/internal/memdef"
 	"hyperhammer/internal/metrics"
+)
+
+// Ledger event codes for the buddy.alloc determinism stream.
+const (
+	ledBuddyAlloc = uint64(iota + 1)
+	ledBuddyFree
+	ledBuddyPCPAlloc
+	ledBuddyPCPFree
 )
 
 // ErrOutOfMemory is returned when no free block of any usable order or
@@ -67,6 +76,7 @@ type Allocator struct {
 	freePages uint64
 
 	met allocMetrics
+	led *ledger.Stream
 }
 
 // allocMetrics caches the allocator's instrument handles; all nil
@@ -97,6 +107,14 @@ func (a *Allocator) SetMetrics(reg *metrics.Registry) {
 	}
 	a.met = m
 	a.met.freeGauge.Set(int64(a.FreePages()))
+}
+
+// SetLedger attaches the determinism-ledger stream for allocator
+// events. Every buddy-list allocation and free, and every PCP-served
+// page, folds its (event, pfn, order) triple into "buddy.alloc"; a
+// nil recorder leaves the allocator unledgered at zero cost.
+func (a *Allocator) SetLedger(r *ledger.Recorder) {
+	a.led = r.Stream("buddy.alloc")
 }
 
 // New creates an allocator over pages frames starting at start, with
@@ -210,7 +228,7 @@ func (a *Allocator) Alloc(order int, mt memdef.MigrateType) (memdef.PFN, error) 
 		if p, ok := a.popFree(mt, o); ok {
 			a.splitTo(p, o, order, mt)
 			a.freePages -= uint64(1) << order
-			a.allocHit(order)
+			a.allocHit(p, order)
 			return p, nil
 		}
 	}
@@ -224,7 +242,7 @@ func (a *Allocator) Alloc(order int, mt memdef.MigrateType) (memdef.PFN, error) 
 			if p, ok := a.popFree(mt, o); ok {
 				a.splitTo(p, o, order, mt)
 				a.freePages -= uint64(1) << order
-				a.allocHit(order)
+				a.allocHit(p, order)
 				return p, nil
 			}
 		}
@@ -241,17 +259,18 @@ func (a *Allocator) Alloc(order int, mt memdef.MigrateType) (memdef.PFN, error) 
 			a.splitTo(p, o, order, mt) // remainder is re-typed to mt
 			a.freePages -= uint64(1) << order
 			a.met.steals.Inc()
-			a.allocHit(order)
+			a.allocHit(p, order)
 			return p, nil
 		}
 	}
 	return 0, ErrOutOfMemory
 }
 
-// allocHit records a successful allocation of one 2^order block.
-func (a *Allocator) allocHit(order int) {
+// allocHit records a successful allocation of block p at 2^order.
+func (a *Allocator) allocHit(p memdef.PFN, order int) {
 	a.met.allocs[order].Inc()
 	a.met.freeGauge.Set(int64(a.FreePages()))
+	a.led.Fold3(ledBuddyAlloc, uint64(p), uint64(order))
 }
 
 // splitTo splits block p down from order `from` to order `to`, putting
@@ -275,6 +294,7 @@ func (a *Allocator) Free(p memdef.PFN, order int, mt memdef.MigrateType) {
 		panic(fmt.Sprintf("buddy: bad free of block %d order %d", p, order))
 	}
 	a.met.frees[order].Inc()
+	a.led.Fold3(ledBuddyFree, uint64(p), uint64(order))
 	a.freePages += uint64(1) << order
 	for order < memdef.MaxOrder-1 {
 		buddyPFN := p ^ memdef.PFN(uint64(1)<<order)
@@ -313,6 +333,7 @@ func (a *Allocator) AllocPage(mt memdef.MigrateType) (memdef.PFN, error) {
 	}
 	p := (*cache)[len(*cache)-1]
 	*cache = (*cache)[:len(*cache)-1]
+	a.led.Fold3(ledBuddyPCPAlloc, uint64(p), uint64(mt))
 	a.syncPCPGauge()
 	return p, nil
 }
@@ -325,6 +346,7 @@ func (a *Allocator) syncPCPGauge() {
 // FreePage frees one order-0 page of type mt through the PCP cache,
 // draining a batch back to the buddy lists past the high watermark.
 func (a *Allocator) FreePage(p memdef.PFN, mt memdef.MigrateType) {
+	a.led.Fold3(ledBuddyPCPFree, uint64(p), uint64(mt))
 	cache := &a.pcp[mt]
 	*cache = append(*cache, p)
 	if len(*cache) > a.cfg.PCPHigh {

@@ -1,8 +1,19 @@
 package dram
 
 import (
+	"math"
+
 	"hyperhammer/internal/memdef"
 	"hyperhammer/internal/sched"
+)
+
+// Ledger verdict codes for the dram.flip stream, mirroring the
+// FlipFired / FlipFlakyNoFire / FlipTRRRefreshed string verdicts as
+// foldable words.
+const (
+	ledVerdictFired = uint64(iota + 1)
+	ledVerdictFlakyNoFire
+	ledVerdictTRRRefreshed
 )
 
 // The batch pipeline evaluates hammer operations in three phases:
@@ -186,7 +197,7 @@ func (m *Module) runBatch(ops []HammerOp, pre func(i int), deliver func(i int, f
 	if m.opRand == nil {
 		m.opRand = newOpRand(&m.opPCG)
 	}
-	consumer := m.flip != nil || m.met.trrVetoed != nil
+	consumer := m.flip != nil || m.met.trrVetoed != nil || m.ledFlip != nil
 
 	// Phase A: sequential bookkeeping.
 	for i := range ops {
@@ -240,7 +251,7 @@ func (m *Module) runBatch(ops []HammerOp, pre func(i int), deliver func(i int, f
 			bop.preOff = int32(len(s.refs))
 			s.refs = append(s.refs, s.refs[aOff:aOff+aLen]...)
 			bop.preLen = aLen
-			filtered := m.cfg.TRR.trrFilter(s.refs[bop.preOff:bop.preOff+bop.preLen], m.ops)
+			filtered := m.trrFilter(s.refs[bop.preOff : bop.preOff+bop.preLen])
 			copy(s.refs[aOff:], filtered)
 			bop.activeLen = int32(len(filtered))
 			bop.neutCount = int(aLen) - len(filtered)
@@ -358,12 +369,16 @@ func (m *Module) runBatch(ops []HammerOp, pre func(i int), deliver func(i int, f
 				WindowRounds: bop.wrounds,
 			})
 		}
-		if bop.kind == opNormal && m.sink != nil {
+		if bop.kind == opNormal && (m.sink != nil || m.ledRow != nil) {
 			// Post-TRR, post-clip: the sink sees the activations that
 			// actually disturb neighbours, which is what a per-row
 			// pressure watchpoint wants to compare against thresholds.
+			// The ledger folds the same row-state emission.
 			for _, ag := range s.refs[bop.activeOff : bop.activeOff+bop.activeLen] {
-				m.sink.RecordRowActivations(ag.Bank, ag.Row, int64(bop.wrounds))
+				if m.sink != nil {
+					m.sink.RecordRowActivations(ag.Bank, ag.Row, int64(bop.wrounds))
+				}
+				m.ledRow.Fold3(uint64(ag.Bank), uint64(ag.Row), uint64(bop.wrounds))
 			}
 		}
 		// Audit what TRR took away before evaluating what leaked
@@ -377,6 +392,7 @@ func (m *Module) runBatch(ops []HammerOp, pre func(i int), deliver func(i int, f
 					r := &bs.arecs[bs.aCur]
 					bs.aCur++
 					vetoed++
+					m.ledFlip.Fold3(uint64(r.addr), uint64(r.bit), ledVerdictTRRRefreshed)
 					if m.flip != nil {
 						m.flip.RecordFlipEvent(FlipEvent{
 							Addr: r.addr, Bit: uint(r.bit), Direction: r.dir,
@@ -408,7 +424,16 @@ func (m *Module) runBatch(ops []HammerOp, pre func(i int), deliver func(i int, f
 				r := &bs.recs[bs.mCur]
 				bs.mCur++
 				row := RowRef{int(b), int(r.row)}
-				if !r.stable && rng.Float64() >= r.flakyP {
+				fired := true
+				if !r.stable {
+					// The draw happens regardless of the ledger; the
+					// fold only observes its bits (zero perturbation).
+					v := rng.Float64()
+					m.ledRNG.Fold1(math.Float64bits(v))
+					fired = v < r.flakyP
+				}
+				if !fired {
+					m.ledFlip.Fold3(uint64(r.addr), uint64(r.bit), ledVerdictFlakyNoFire)
 					if m.flip != nil {
 						m.flip.RecordFlipEvent(FlipEvent{
 							Addr: r.addr, Bit: uint(r.bit), Direction: r.dir,
@@ -424,6 +449,7 @@ func (m *Module) runBatch(ops []HammerOp, pre func(i int), deliver func(i int, f
 					Direction: r.dir,
 					Row:       row,
 				})
+				m.ledFlip.Fold3(uint64(r.addr), uint64(r.bit), ledVerdictFired)
 				if m.flip != nil {
 					m.flip.RecordFlipEvent(FlipEvent{
 						Addr: r.addr, Bit: uint(r.bit), Direction: r.dir,
@@ -452,7 +478,7 @@ func (m *Module) evalBank(bank int) {
 	bs := &m.banks[bank]
 	s := &m.bat
 	maxRow := m.Geo.Rows()
-	consumer := m.flip != nil || m.met.trrVetoed != nil
+	consumer := m.flip != nil || m.met.trrVetoed != nil || m.ledFlip != nil
 	for _, oi := range bs.opIdx {
 		bop := &s.ops[oi]
 		pre := s.refs[bop.preOff : bop.preOff+bop.preLen]

@@ -3,6 +3,7 @@ package dram
 import (
 	"math/rand/v2"
 
+	"hyperhammer/internal/ledger"
 	"hyperhammer/internal/memdef"
 	"hyperhammer/internal/metrics"
 	"hyperhammer/internal/sched"
@@ -149,11 +150,23 @@ type Module struct {
 
 	met moduleMetrics
 
+	// led* are the determinism-ledger fold handles (nil when the
+	// ledger is off — nil handles fold to nothing; see SetLedger).
+	ledRNG  *ledger.Stream
+	ledRow  *ledger.Stream
+	ledFlip *ledger.Stream
+
 	// opPCG/opRand are the reusable per-op RNG: reseeding a PCG in
 	// place draws the identical stream a freshly allocated
 	// rand.New(rand.NewPCG(...)) would, without the two allocations.
 	opPCG  rand.PCG
 	opRand *rand.Rand
+
+	// trr and trrPCG/trrRand are the TRR filter's reusable scratch
+	// and sampling RNG (see trr.go).
+	trr     trrScratch
+	trrPCG  rand.PCG
+	trrRand *rand.Rand
 
 	bat batchScratch
 
@@ -276,6 +289,18 @@ type FlipSink interface {
 
 // SetFlipSink installs (or, with nil, removes) the module's flip sink.
 func (m *Module) SetFlipSink(s FlipSink) { m.flip = s }
+
+// SetLedger resolves the module's determinism-ledger streams: the
+// flaky-cell RNG draws (dram.rng), per-op row activation state
+// (dram.row), and flip-verdict emissions (dram.flip). A nil recorder
+// resolves nil handles, which fold to nothing — the zero-cost-off
+// path. Folds happen only on the merge-ordered phase-C path, so the
+// ledger is byte-identical at any shard worker count.
+func (m *Module) SetLedger(r *ledger.Recorder) {
+	m.ledRNG = r.Stream("dram.rng")
+	m.ledRow = r.Stream("dram.row")
+	m.ledFlip = r.Stream("dram.flip")
+}
 
 // moduleMetrics caches the module's instrument handles. All handles
 // are nil (no-op) until SetMetrics.

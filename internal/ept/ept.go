@@ -15,8 +15,18 @@ import (
 	"fmt"
 	"sort"
 
+	"hyperhammer/internal/ledger"
 	"hyperhammer/internal/memdef"
 	"hyperhammer/internal/metrics"
+)
+
+// Ledger event codes for the ept.mutation determinism stream.
+const (
+	ledEPTMap4K = uint64(iota + 1)
+	ledEPTMap2M
+	ledEPTSetPerm
+	ledEPTSplit
+	ledEPTUnmap
 )
 
 // Perm is the permission triple of an EPT entry (bits 0-2).
@@ -154,6 +164,7 @@ type Table struct {
 	leaf4k, leaf2m int
 
 	met tableMetrics
+	led *ledger.Stream
 }
 
 // tableMetrics caches the structure's instrument handles; all nil
@@ -178,6 +189,15 @@ func (t *Table) SetMetrics(reg *metrics.Registry) {
 		tablePages:   reg.Gauge("ept_table_pages", "Live hypervisor-allocated table pages across all structures."),
 	}
 	t.met.tablePages.Add(int64(len(t.tables)))
+}
+
+// SetLedger attaches a determinism-ledger stream for structure
+// mutations. The caller passes the resolved stream handle rather than
+// a recorder so every Table of one host (per-VM EPTs, per-group IOPTs)
+// folds into the same "ept.mutation" stream; a nil handle leaves the
+// structure unledgered at zero cost.
+func (t *Table) SetLedger(s *ledger.Stream) {
+	t.led = s
 }
 
 // New allocates an empty 4-level table structure, the mode the paper
@@ -280,6 +300,7 @@ func (t *Table) Map4K(va uint64, frame memdef.PFN, perm Perm) error {
 	}
 	t.writeEntry(tp, va, leafLevel, NewEntry(frame, perm, false))
 	t.leaf4k++
+	t.led.Fold4(ledEPTMap4K, va, uint64(frame), uint64(perm))
 	return nil
 }
 
@@ -298,6 +319,7 @@ func (t *Table) Map2M(va uint64, frame memdef.PFN, perm Perm) error {
 	}
 	t.writeEntry(tp, va, 2, NewEntry(frame, perm, true))
 	t.leaf2m++
+	t.led.Fold4(ledEPTMap2M, va, uint64(frame), uint64(perm))
 	return nil
 }
 
@@ -373,6 +395,7 @@ func (t *Table) SetLeafPerm(va uint64, perm Perm) error {
 	}
 	e := Entry(t.mem.Word(tr.EntryAddr))
 	t.mem.SetWord(tr.EntryAddr, uint64(e.WithPerm(perm)))
+	t.led.Fold3(ledEPTSetPerm, va, uint64(perm))
 	return nil
 }
 
@@ -406,6 +429,7 @@ func (t *Table) SplitHuge(va uint64, perm Perm) (memdef.PFN, error) {
 	t.writeEntry(tp, va, 2, NewEntry(leaf, PermRWX, false))
 	t.leaf2m--
 	t.leaf4k += memdef.PagesPerHuge
+	t.led.Fold3(ledEPTSplit, va, uint64(leaf))
 	return leaf, nil
 }
 
@@ -419,6 +443,7 @@ func (t *Table) Unmap(va uint64) (Entry, error) {
 	}
 	e := Entry(t.mem.Word(tr.EntryAddr))
 	t.mem.SetWord(tr.EntryAddr, 0)
+	t.led.Fold3(ledEPTUnmap, va, uint64(e))
 	if tr.Level == 2 {
 		t.leaf2m--
 	} else {

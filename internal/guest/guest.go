@@ -16,6 +16,7 @@ import (
 	"hyperhammer/internal/dram"
 	"hyperhammer/internal/ept"
 	"hyperhammer/internal/kvm"
+	"hyperhammer/internal/ledger"
 	"hyperhammer/internal/memdef"
 	"hyperhammer/internal/simtime"
 	"hyperhammer/internal/virtio"
@@ -71,7 +72,18 @@ type OS struct {
 	// hammer submission paths.
 	gpaScratch  []memdef.GPA
 	hammerBatch []kvm.HammerBatchOp
+
+	// led is the host's "guest.mapping" determinism stream; nil when
+	// the host runs without a ledger. Mapping installs and removals
+	// fold their (event, gva, gpa) triples here.
+	led *ledger.Stream
 }
+
+// Ledger event codes for the guest.mapping determinism stream.
+const (
+	ledGuestMap = uint64(iota + 1)
+	ledGuestUnmap
+)
 
 // fillCtx parameterizes the cached fill-word supplier: a constant
 // word, or (self) each page's own virtual address — the exploit
@@ -92,6 +104,7 @@ func Boot(vm *kvm.VM) *OS {
 		rmap:    make(map[memdef.GPA]memdef.GVA),
 		nextGVA: gvaBase,
 	}
+	os.led = vm.Host().GuestMappingLedger()
 	os.drv = virtio.NewGuestDriver(vm.MemDevice())
 	os.drv.OnUnplug = func(gpa memdef.GPA, _ uint64) { os.dropChunk(gpa) }
 	for _, gpa := range vm.MemDevice().PluggedSubBlocks() {

@@ -111,6 +111,7 @@ func (os *OS) mapHuge(gva memdef.GVA, gpa memdef.GPA) {
 	}
 	os.vmas[gva] = gpa
 	os.rmap[gpa] = gva
+	os.led.Fold3(ledGuestMap, uint64(gva), uint64(gpa))
 }
 
 // unmapHuge removes a 2 MiB mapping from the tables and caches.
@@ -121,6 +122,7 @@ func (os *OS) unmapHuge(gva memdef.GVA) {
 	gpa := os.vmas[gva]
 	delete(os.vmas, gva)
 	delete(os.rmap, gpa)
+	os.led.Fold3(ledGuestUnmap, uint64(gva), uint64(gpa))
 }
 
 // walkGVA translates through the real page tables, bypassing the

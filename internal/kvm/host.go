@@ -13,12 +13,14 @@ package kvm
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/rand/v2"
 
 	"hyperhammer/internal/buddy"
 	"hyperhammer/internal/dram"
 	"hyperhammer/internal/forensics"
 	"hyperhammer/internal/inspect"
+	"hyperhammer/internal/ledger"
 	"hyperhammer/internal/memdef"
 	"hyperhammer/internal/metrics"
 	"hyperhammer/internal/obs"
@@ -96,6 +98,14 @@ type Config struct {
 	// DRAM module's flip sink, and every flip the host commits (or a
 	// mitigation vetoes) is resolved to a verdict and an owning frame.
 	Forensics *forensics.Recorder
+	// Ledger, when non-nil, is the determinism plane: at boot it is
+	// bound to the host's simulated clock (arming epoch sealing) and
+	// its fingerprint streams are resolved across every instrumented
+	// subsystem in a fixed declaration order (kvm.rng, kvm.flip, then
+	// dram, phys, buddy, ept, guest). Hooks only observe values the
+	// simulation already produced, so enabling the ledger cannot
+	// change any figure.
+	Ledger *ledger.Recorder
 	// DRAMShardWorkers, when > 1, shards the DRAM module's batched
 	// per-bank threshold-crossing pass across that many sched workers.
 	// The per-bank work is pure and the merge is index-ordered, so
@@ -177,8 +187,26 @@ type Host struct {
 	// campaigns churn between every attempt.
 	churnHeld []memdef.PFN
 
+	// led* are the determinism-ledger fold handles owned by the host
+	// layer (nil when the ledger is off): host RNG draws, resolved
+	// flip verdicts, EPT mutations (shared by every VM's table), and
+	// guest mapping changes.
+	ledRNG   *ledger.Stream
+	ledFlip  *ledger.Stream
+	ledEPT   *ledger.Stream
+	ledGuest *ledger.Stream
+
 	met hostMetrics
 }
+
+// Ledger verdict codes for the kvm.flip stream, mirroring the
+// forensics host-stage verdict strings as foldable words.
+const (
+	ledVerdictLanded = uint64(iota + 1)
+	ledVerdictDirectionFiltered
+	ledVerdictECCCorrected
+	ledVerdictECCUncorrectable
+)
 
 // hostMetrics caches the host-level instrument handles; all nil
 // (no-op) without a registry.
@@ -255,6 +283,19 @@ func NewHost(cfg Config) (*Host, error) {
 		h.DRAM.SetShardRunner(sched.New(cfg.DRAMShardWorkers))
 	}
 	h.Buddy.SetMetrics(cfg.Metrics)
+	if cfg.Ledger != nil {
+		// Wired before bootNoise so boot-time draws and allocator
+		// churn are covered. Stream resolution order here is the
+		// declaration order of every epoch record — keep it fixed.
+		cfg.Ledger.BindClock(h.Clock)
+		h.ledRNG = cfg.Ledger.Stream("kvm.rng")
+		h.ledFlip = cfg.Ledger.Stream("kvm.flip")
+		h.DRAM.SetLedger(cfg.Ledger)
+		h.Mem.SetLedger(cfg.Ledger)
+		h.Buddy.SetLedger(cfg.Ledger)
+		h.ledEPT = cfg.Ledger.Stream("ept.mutation")
+		h.ledGuest = cfg.Ledger.Stream("guest.mapping")
+	}
 	if err := h.bootNoise(); err != nil {
 		return nil, err
 	}
@@ -278,6 +319,12 @@ func NewHost(cfg Config) (*Host, error) {
 
 // Config returns the host's configuration.
 func (h *Host) Config() Config { return h.cfg }
+
+// GuestMappingLedger exposes the host's "guest.mapping" determinism
+// stream so guest runtimes booted on this host's VMs fold their
+// mapping changes into the host-wide ledger; nil when the host runs
+// without one.
+func (h *Host) GuestMappingLedger() *ledger.Stream { return h.ledGuest }
 
 // bootNoise reproduces the post-boot state of the host's unmovable
 // free lists: kernel allocations interleaved with frees leave tens of
@@ -310,7 +357,9 @@ func (h *Host) bootNoise() error {
 		pages = append(pages, p)
 	}
 	for _, p := range pages {
-		if h.rng.Float64() < 0.5 {
+		v := h.rng.Float64()
+		h.ledRNG.Fold1(math.Float64bits(v))
+		if v < 0.5 {
 			h.Buddy.Free(p, 0, memdef.MigrateUnmovable)
 		} else {
 			h.kernelPages = append(h.kernelPages, p)
@@ -364,7 +413,9 @@ func (h *Host) BackgroundChurn(ops int) {
 	held := h.churnHeld[:0]
 	defer func() { h.churnHeld = held[:0] }()
 	for i := 0; i < ops; i++ {
-		switch h.rng.IntN(3) {
+		choice := h.rng.IntN(3)
+		h.ledRNG.Fold1(uint64(choice))
+		switch choice {
 		case 0: // allocate and hold briefly
 			if p, err := h.Buddy.AllocPage(memdef.MigrateUnmovable); err == nil {
 				held = append(held, p)
@@ -372,12 +423,14 @@ func (h *Host) BackgroundChurn(ops int) {
 		case 1: // free one held page in random order
 			if len(held) > 0 {
 				j := h.rng.IntN(len(held))
+				h.ledRNG.Fold1(uint64(j))
 				h.Buddy.FreePage(held[j], memdef.MigrateUnmovable)
 				held[j] = held[len(held)-1]
 				held = held[:len(held)-1]
 			}
 		case 2: // short-lived larger allocation (page-cache style)
 			order := 1 + h.rng.IntN(3)
+			h.ledRNG.Fold1(uint64(order))
 			if p, err := h.Buddy.Alloc(order, memdef.MigrateUnmovable); err == nil {
 				h.Buddy.Free(p, order, memdef.MigrateUnmovable)
 			}
@@ -480,16 +533,19 @@ func (h *Host) applyFlips(cands []dram.CandidateFlip) int {
 				h.met.mitVetoedECC.Inc()
 			}
 		}
-		if h.cfg.Forensics != nil {
+		if h.cfg.Forensics != nil || h.ledFlip != nil {
 			// Resolve in candidate order, never perWord map order:
-			// forensics output must be deterministic.
+			// forensics and ledger output must be deterministic.
 			for i, f := range cands {
 				switch {
 				case !effective[i]:
+					h.ledFlip.Fold3(uint64(f.Addr), uint64(f.Bit), ledVerdictDirectionFiltered)
 					h.cfg.Forensics.ResolveFlip(f.Addr, f.Bit, forensics.VerdictDirectionFiltered, nil)
 				case perWord[f.Addr&^7] >= 2:
+					h.ledFlip.Fold3(uint64(f.Addr), uint64(f.Bit), ledVerdictECCUncorrectable)
 					h.cfg.Forensics.ResolveFlip(f.Addr, f.Bit, forensics.VerdictECCUncorrectable, nil)
 				default:
+					h.ledFlip.Fold3(uint64(f.Addr), uint64(f.Bit), ledVerdictECCCorrected)
 					h.cfg.Forensics.ResolveFlip(f.Addr, f.Bit, forensics.VerdictECCCorrected, nil)
 				}
 			}
@@ -507,10 +563,12 @@ func (h *Host) applyFlips(cands []dram.CandidateFlip) int {
 			h.cfg.Inspect.RecordFlip(h.cfg.Geometry.Bank(f.Addr), h.cfg.Geometry.Row(f.Addr))
 			h.cfg.Trace.Emit("dram.flip",
 				"hpa", fmt.Sprintf("%#x", f.Addr), "bit", f.Bit, "dir", f.Direction)
+			h.ledFlip.Fold3(uint64(f.Addr), uint64(f.Bit), ledVerdictLanded)
 			if h.cfg.Forensics != nil {
 				h.cfg.Forensics.ResolveFlip(f.Addr, f.Bit, forensics.VerdictLanded, h.flipOwner(f.Addr))
 			}
-		} else if h.cfg.Forensics != nil {
+		} else {
+			h.ledFlip.Fold3(uint64(f.Addr), uint64(f.Bit), ledVerdictDirectionFiltered)
 			h.cfg.Forensics.ResolveFlip(f.Addr, f.Bit, forensics.VerdictDirectionFiltered, nil)
 		}
 	}

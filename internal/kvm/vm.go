@@ -185,6 +185,7 @@ func (h *Host) CreateVM(cfg VMConfig) (*VM, error) {
 	}
 	vm.ept = t
 	t.SetMetrics(h.cfg.Metrics)
+	t.SetLedger(h.ledEPT)
 
 	dev, err := virtio.NewMemDevice(0, cfg.MemSize, (*vmMemBackend)(vm), h.cfg.Quarantine)
 	if err != nil {
@@ -207,6 +208,7 @@ func (h *Host) CreateVM(cfg VMConfig) (*VM, error) {
 			return nil, fmt.Errorf("kvm: creating IOMMU group %d: %w", i, err)
 		}
 		g.SetMetrics(h.cfg.Metrics)
+		g.SetLedger(h.ledEPT)
 		vm.groups = append(vm.groups, g)
 	}
 	h.vms[vm] = struct{}{}

@@ -6,6 +6,7 @@ import (
 
 	"hyperhammer/internal/forensics"
 	"hyperhammer/internal/inspect"
+	"hyperhammer/internal/ledger"
 	"hyperhammer/internal/metrics"
 	"hyperhammer/internal/profile"
 	"hyperhammer/internal/runstore"
@@ -48,6 +49,7 @@ type Plane struct {
 	artifact  func() any
 	inspector *inspect.Inspector
 	forensics *forensics.Recorder
+	ledger    *ledger.Recorder
 	plan      func() *profile.PlanReport
 	runstore  *runstore.Store
 }
@@ -246,6 +248,30 @@ func (p *Plane) Forensics() *forensics.Recorder {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.forensics
+}
+
+// SetLedger installs the determinism-ledger recorder the server's
+// /api/ledger endpoint serves from. A nil recorder (or never calling
+// this) makes the endpoint serve an empty-but-schema-valid snapshot.
+// Safe on a nil receiver.
+func (p *Plane) SetLedger(r *ledger.Recorder) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.ledger = r
+	p.mu.Unlock()
+}
+
+// Ledger returns the installed determinism-ledger recorder (nil when
+// unset; ledger snapshots are nil-safe).
+func (p *Plane) Ledger() *ledger.Recorder {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.ledger
 }
 
 // SetPlanFunc installs the callback /api/plan serves: the host-cost

@@ -31,6 +31,9 @@ import (
 //	/api/alerts    fired watchpoint alerts (totals, per-rule, ring)
 //	/api/forensics flip-provenance snapshot: per-attempt flip lineage,
 //	               verdict/owner taxonomies, campaign outcomes
+//	/api/ledger    determinism-ledger snapshot: rolling per-stream
+//	               fingerprints sealed into sim-time epochs, per unit
+//	               (empty-but-valid without a recorder)
 //	/api/plan      host-cost schedule analysis of the current batch:
 //	               per-unit host timings, critical path, parallel
 //	               efficiency (empty-but-valid until a CLI installs a
@@ -75,6 +78,7 @@ func (p *Plane) Serve(addr string) (*Server, error) {
 	mux.HandleFunc("/api/census", s.handleCensus)
 	mux.HandleFunc("/api/alerts", s.handleAlerts)
 	mux.HandleFunc("/api/forensics", s.handleForensics)
+	mux.HandleFunc("/api/ledger", s.handleLedger)
 	mux.HandleFunc("/api/plan", s.handlePlan)
 	mux.HandleFunc("/api/history", s.handleHistory)
 	mux.HandleFunc("/api/trend", s.handleTrend)
@@ -207,6 +211,13 @@ func (s *Server) handleAlerts(w http.ResponseWriter, _ *http.Request) {
 // arrays are [] and never null.
 func (s *Server) handleForensics(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, s.plane.Forensics().Snapshot())
+}
+
+// handleLedger serves the determinism-ledger snapshot. Snapshot is
+// nil-safe, so the shape contract holds with no recorder installed:
+// arrays are [] and never null.
+func (s *Server) handleLedger(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, s.plane.Ledger().Snapshot())
 }
 
 // handlePlan serves the host-cost schedule report. PlanReport is

@@ -14,6 +14,7 @@ package phys
 import (
 	"fmt"
 
+	"hyperhammer/internal/ledger"
 	"hyperhammer/internal/memdef"
 )
 
@@ -49,6 +50,8 @@ type Memory struct {
 	// attempt; recycling caps that at one allocation per concurrent
 	// materialized frame instead of one per touch.
 	pool [][]uint64
+
+	led *ledger.Stream
 }
 
 // poolCap bounds the recycled-array pool (4 KiB each, so 16 MiB).
@@ -68,6 +71,14 @@ func New(size uint64) *Memory {
 
 // Size returns the memory size in bytes.
 func (m *Memory) Size() uint64 { return m.size }
+
+// SetLedger attaches the determinism-ledger stream for applied bit
+// flips. Each FlipBit call folds (address, bit, changed) into
+// "phys.flip"; a nil recorder leaves the store unledgered at zero
+// cost.
+func (m *Memory) SetLedger(r *ledger.Recorder) {
+	m.led = r.Stream("phys.flip")
+}
 
 // Frames returns the number of 4 KiB frames.
 func (m *Memory) Frames() int { return len(m.frames) }
@@ -201,16 +212,18 @@ func (m *Memory) FlipBit(a memdef.HPA, bit uint, oneToZero bool) bool {
 	shift := (uint(a)&7)*8 + bit
 	w := m.Word(wordAddr)
 	cur := (w >> shift) & 1
+	changed := uint64(0)
 	if oneToZero {
-		if cur != 1 {
-			return false
+		if cur == 1 {
+			m.SetWord(wordAddr, w&^(1<<shift))
+			changed = 1
 		}
-		m.SetWord(wordAddr, w&^(1<<shift))
 	} else {
-		if cur != 0 {
-			return false
+		if cur == 0 {
+			m.SetWord(wordAddr, w|(1<<shift))
+			changed = 1
 		}
-		m.SetWord(wordAddr, w|(1<<shift))
 	}
-	return true
+	m.led.Fold3(uint64(a), uint64(bit), changed)
+	return changed == 1
 }

@@ -4,11 +4,13 @@ import (
 	"encoding/json"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"hyperhammer/internal/benchfmt"
 	"hyperhammer/internal/forensics"
 	"hyperhammer/internal/inspect"
+	"hyperhammer/internal/ledger"
 	"hyperhammer/internal/profile"
 	"hyperhammer/internal/report"
 )
@@ -191,6 +193,16 @@ func Compare(a, b *Artifact, tol Tolerances) *Diff {
 		}
 	}
 
+	// The ledger section compares fingerprints at the (zero-default)
+	// counter tolerance: any fractional or absolute slack would defeat
+	// its purpose, since a fingerprint either matches or does not.
+	if a.Ledger != nil || b.Ledger != nil {
+		la, lb := ledgerMap(a.Ledger), ledgerMap(b.Ledger)
+		for _, key := range unionKeys(la, lb) {
+			add("ledger", key, la[key], lb[key], tol.CountFrac, tol.CountAbs)
+		}
+	}
+
 	// The plan section (host-cost schedule) compares only when both
 	// artifacts carry one (like bench): shape and counts exactly
 	// (under the count tolerance), durations loosely (under the host
@@ -337,6 +349,39 @@ func forensicsMap(s *forensics.Snapshot) map[string]float64 {
 		}
 		// Fold to float-exact 52 bits, like the heatmap grid fingerprint.
 		m["campaign_fingerprint"] = float64(fp % (1 << 52))
+	}
+	return m
+}
+
+// ledgerMap flattens a determinism-ledger snapshot to comparison keys:
+// per unit and stream, the final fingerprint (folded to float-exact 52
+// bits, like the grid fingerprint) and event count, plus the epoch
+// counts. Per-epoch fingerprints are implied by the finals — a run
+// whose final fingerprints match at every stream had identical epoch
+// trails — so flattening them would only multiply rows; hh-bisect is
+// the tool that walks epochs.
+func ledgerMap(s *ledger.Snapshot) map[string]float64 {
+	m := map[string]float64{}
+	if s == nil {
+		return m
+	}
+	m["version"] = float64(s.Version)
+	m["epoch_seconds"] = s.EpochSimSeconds
+	m["units"] = float64(len(s.Units))
+	for _, u := range s.Units {
+		prefix := ""
+		if u.Unit != "" {
+			prefix = u.Unit + "."
+		}
+		m[prefix+"epochs"] = float64(len(u.Epochs))
+		m[prefix+"epochs_truncated"] = float64(u.EpochsTruncated)
+		for _, sf := range u.Streams {
+			fp, err := strconv.ParseUint(sf.FP, 16, 64)
+			if err == nil {
+				m[prefix+sf.Stream+".fp"] = float64(fp % (1 << 52))
+			}
+			m[prefix+sf.Stream+".count"] = float64(sf.Count)
+		}
 	}
 	return m
 }

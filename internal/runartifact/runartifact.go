@@ -22,6 +22,7 @@ import (
 	"hyperhammer/internal/benchfmt"
 	"hyperhammer/internal/forensics"
 	"hyperhammer/internal/inspect"
+	"hyperhammer/internal/ledger"
 	"hyperhammer/internal/metrics"
 	"hyperhammer/internal/profile"
 )
@@ -97,6 +98,12 @@ type Artifact struct {
 	// owner taxonomies, and campaign outcome tables. cmd/hh-why reads
 	// this section offline; hh-diff compares it at zero tolerance.
 	Forensics *forensics.Snapshot `json:"forensics,omitempty"`
+	// Ledger embeds the determinism-ledger plane's snapshot when the
+	// run carried a recorder: rolling per-stream fingerprints sealed
+	// into sim-time epochs, per unit. cmd/hh-bisect localizes
+	// divergence between two artifacts from this section; hh-diff
+	// compares it at zero tolerance.
+	Ledger *ledger.Snapshot `json:"ledger,omitempty"`
 	// Plan embeds the host-cost schedule analysis (per-unit host
 	// timings, critical path, parallel efficiency). Unlike every other
 	// section it measures the *host*, so it is the one part of the
@@ -128,6 +135,16 @@ func (a *Artifact) SetForensics(r *forensics.Recorder) {
 	}
 	s := r.Snapshot()
 	a.Forensics = &s
+}
+
+// SetLedger embeds the recorder's snapshot; a nil recorder leaves the
+// artifact without a ledger section.
+func (a *Artifact) SetLedger(r *ledger.Recorder) {
+	if r == nil {
+		return
+	}
+	s := r.Snapshot()
+	a.Ledger = &s
 }
 
 // SetPlan embeds the host-cost plan report; a nil report leaves the

@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"hyperhammer/internal/ept"
+	"hyperhammer/internal/ledger"
 	"hyperhammer/internal/memdef"
 	"hyperhammer/internal/metrics"
 	"hyperhammer/internal/phys"
@@ -50,6 +51,10 @@ type Group struct {
 // SetMetrics instruments the group's shadow IOPT; its walks, splits
 // and table pages aggregate into the shared ept_* series.
 func (g *Group) SetMetrics(reg *metrics.Registry) { g.iopt.SetMetrics(reg) }
+
+// SetLedger folds the shadow IOPT's mutations into the host's shared
+// "ept.mutation" determinism stream.
+func (g *Group) SetLedger(s *ledger.Stream) { g.iopt.SetLedger(s) }
 
 // NewGroup creates an IOMMU group whose shadow IOPT pages come from
 // alloc (the host's unmovable order-0 table-page allocator).
